@@ -1,0 +1,21 @@
+"""Figure 4: speedups of the OLD parallel shear warper, 511x511x333 MRI.
+
+The paper plots self-relative speedup vs processor count on DASH, the
+Challenge, and the simulated CC-NUMA: speedups flatten well below
+linear, worst on the distributed-memory DASH.
+"""
+
+from __future__ import annotations
+
+from common import HEADLINE, PROCS, emit, one_round, speedup_table
+
+
+def run() -> str:
+    table = speedup_table(HEADLINE, ("dash", "challenge", "simulator"), ("old",))
+    return emit("fig04_old_speedups", table)
+
+
+test_fig04 = one_round(run)
+
+if __name__ == "__main__":
+    run()

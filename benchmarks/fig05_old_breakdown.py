@@ -1,0 +1,26 @@
+"""Figure 5: cumulative rendering-time breakdown of the OLD renderer.
+
+busy / memory-stall / synchronization fractions vs processor count on
+the distributed-memory platforms (DASH and the simulator): memory time
+dominates the decline (paper: ~50 % of execution on 32-processor DASH
+vs 18 % serial).
+"""
+
+from __future__ import annotations
+
+from common import HEADLINE, PROCS, breakdown_table, emit, one_round
+
+
+def run() -> str:
+    parts = []
+    for machine in ("dash", "simulator"):
+        parts.append(f"--- {machine} (old algorithm, {HEADLINE}) ---")
+        parts.append(breakdown_table(HEADLINE, machine, "old", PROCS))
+    table = "\n".join(parts)
+    return emit("fig05_old_breakdown", table)
+
+
+test_fig05 = one_round(run)
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,26 @@
+"""Figure 6: OLD-renderer speedups across data-set sizes.
+
+Speedups for the 128^3 / 256^3 / 512^3 MRI sets on the Challenge and
+DASH.  Paper shapes: Challenge beats DASH everywhere; on DASH the
+*intermediate* (256^3) set speeds up best — small sets lack concurrency,
+the large set's working set blows DASH's cache (section 3.4.4).
+"""
+
+from __future__ import annotations
+
+from common import MRI_SETS, PROCS, emit, one_round, speedup_table
+
+
+def run() -> str:
+    parts = []
+    for dataset in MRI_SETS:
+        parts.append(f"--- {dataset} (old algorithm) ---")
+        parts.append(speedup_table(dataset, ("challenge", "dash"), ("old",)))
+    table = "\n".join(parts)
+    return emit("fig06_old_speedups_datasets", table)
+
+
+test_fig06 = one_round(run)
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,36 @@
+"""Figure 7: cache-miss breakdown vs processor count (OLD, simulator).
+
+Misses per class (replacement / true sharing / false sharing, cold
+omitted as in the paper) as P grows on the simulated CC-NUMA.  Paper
+shapes: replacement + true sharing dominate; true sharing grows with P
+(the compositing/warp interface communication); the overall rate does
+not explode, but the remote fraction does.
+"""
+
+from __future__ import annotations
+
+from common import HEADLINE, emit, one_round, simulate
+
+from repro.analysis.breakdown import combined_stats, format_table, miss_breakdown
+
+
+def run() -> str:
+    headers = ["P", "true%", "false%", "repl%", "total%", "remote_frac"]
+    rows = []
+    for p in (1, 2, 4, 8, 16, 32):
+        rep = simulate(HEADLINE, "old", "simulator", p)
+        mb = miss_breakdown(rep)
+        stats = combined_stats(rep)
+        rows.append((
+            p, mb["true"], mb["false"], mb["replacement"],
+            mb["true"] + mb["false"] + mb["replacement"],
+            stats.remote_fraction(),
+        ))
+    table = format_table(headers, rows)
+    return emit("fig07_old_miss_breakdown", table)
+
+
+test_fig07 = one_round(run)
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,43 @@
+"""Figure 9: miss rate vs cache size — the OLD renderer's working sets.
+
+The knees of the curves are the working sets: for the old program they
+grow with the data-set size (~n^2: a plane through the volume) and stay
+independent of the processor count.
+"""
+
+from __future__ import annotations
+
+from common import MRI_SETS, SCALE, emit, machine_for, one_round, record_frames
+
+from repro.analysis.breakdown import format_table
+from repro.analysis.workingset import cache_for_rate, cache_size_sweep
+
+N_PROCS = 32
+SIZES = tuple(2**k for k in range(9, 17, 2)) + (2**16,)  # ~1 KB..1 MB analogue
+
+
+def run() -> str:
+    machine = machine_for("simulator", SCALE)
+    curves = {}
+    knees = {}
+    for ds in MRI_SETS:
+        frames = record_frames(ds, "old", N_PROCS, scale=SCALE)
+        pts = cache_size_sweep(frames, machine, sizes=SIZES)
+        curves[ds] = {p.value: p.miss_rate for p in pts}
+        knees[ds] = cache_for_rate(pts, target_rate=1.5)
+    headers = ["cache_B"] + list(MRI_SETS)
+    rows = [
+        tuple([size] + [curves[ds][size] for ds in MRI_SETS]) for size in SIZES
+    ]
+    table = format_table(headers, rows)
+    table += "\n\ncache needed for <=1.5% miss rate (bytes): " + ", ".join(
+        f"{ds}={knees[ds]}" for ds in MRI_SETS
+    )
+    table += "\n(paper shape: knee grows with data-set size, ~n^2)"
+    return emit("fig09_old_workingset", table)
+
+
+test_fig09 = one_round(run)
+
+if __name__ == "__main__":
+    run()

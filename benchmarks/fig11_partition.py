@@ -1,0 +1,51 @@
+"""Figure 11: cumulative profile -> contiguous balanced partition.
+
+The parallel-prefix construction of section 4.3: the cumulative cost
+curve is split into equal areas and each split point binary-searched to
+a scanline; shown for 4 processors as in the figure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import SCALE, emit, one_round
+
+from repro.analysis.breakdown import format_table
+from repro.analysis.harness import DEFAULT_VIEW, ROTATION_STEP, get_renderer
+from repro.core import NewParallelShearWarp
+
+DATASET = "mri256"
+N_PROCS = 4
+
+
+def run() -> str:
+    renderer = get_renderer(DATASET, SCALE)
+    new = NewParallelShearWarp(renderer, n_procs=N_PROCS)
+    view0 = renderer.view_from_angles(*DEFAULT_VIEW)
+    new.render_frame(view0)  # profiled frame
+    rx, ry, rz = DEFAULT_VIEW
+    frame = new.render_frame(renderer.view_from_angles(rx, ry + ROTATION_STEP, rz))
+
+    prof = new.last_profile
+    cum = prof.cumulative()
+    bounds = frame.boundaries
+    headers = ["proc", "v_range", "scanlines", "measured_cost", "share%"]
+    rows = []
+    for p in range(N_PROCS):
+        lo, hi = int(bounds[p]), int(bounds[p + 1])
+        cost = sum(frame.composite_units[v].cost for v in range(lo, hi))
+        rows.append((p, f"[{lo},{hi})", hi - lo, cost,
+                     100 * cost / max(1e-9, frame.composite_cost_total)))
+    table = format_table(headers, rows, width=16)
+    ideal = 100.0 / N_PROCS
+    worst = max(abs(r[4] - ideal) for r in rows)
+    table += (f"\n\ncumulative curve total: {cum[-1]:.0f}; ideal share {ideal:.1f}% "
+              f"per processor; worst deviation {worst:.1f} points")
+    return emit("fig11_partition", table)
+
+
+test_fig11 = one_round(run)
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,26 @@
+"""Figure 12: OLD vs NEW speedups for the MRI sets on DASH.
+
+Paper shape: the new algorithm's speedups are better, especially for
+larger data sets and processor counts.  (Known proxy-scale deviation:
+at the highest processor counts the contiguous partitions hold too few
+scanlines for the profile balancer, and DASH's crossover can invert —
+see EXPERIMENTS.md.)
+"""
+
+from __future__ import annotations
+
+from common import MRI_SETS, emit, one_round, speedup_table
+
+
+def run() -> str:
+    parts = []
+    for dataset in MRI_SETS:
+        parts.append(f"--- {dataset} on DASH ---")
+        parts.append(speedup_table(dataset, ("dash",), ("old", "new")))
+    return emit("fig12_new_vs_old_dash", "\n".join(parts))
+
+
+test_fig12 = one_round(run)
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,19 @@
+"""Figure 13: OLD vs NEW speedups for the MRI sets on the simulator."""
+
+from __future__ import annotations
+
+from common import MRI_SETS, emit, one_round, speedup_table
+
+
+def run() -> str:
+    parts = []
+    for dataset in MRI_SETS:
+        parts.append(f"--- {dataset} on the simulated CC-NUMA ---")
+        parts.append(speedup_table(dataset, ("simulator",), ("old", "new")))
+    return emit("fig13_new_vs_old_sim", "\n".join(parts))
+
+
+test_fig13 = one_round(run)
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,25 @@
+"""Figure 14: time breakdowns, OLD vs NEW, on DASH and the simulator.
+
+Four panels: (a) old/DASH, (b) new/DASH, (c) old/simulator,
+(d) new/simulator.  Paper shape: the major difference is the
+memory-stall share, which stops dominating under the new algorithm.
+"""
+
+from __future__ import annotations
+
+from common import HEADLINE, PROCS, breakdown_table, emit, one_round
+
+
+def run() -> str:
+    parts = []
+    for machine in ("dash", "simulator"):
+        for alg in ("old", "new"):
+            parts.append(f"--- {alg} on {machine} ({HEADLINE}) ---")
+            parts.append(breakdown_table(HEADLINE, machine, alg, PROCS))
+    return emit("fig14_breakdown_comparison", "\n".join(parts))
+
+
+test_fig14 = one_round(run)
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,24 @@
+"""Figure 15: OLD vs NEW speedups with the 511^3 CT head.
+
+The CT input classifies sparser than MRI (bone only), changing the
+run-length statistics; the comparison between algorithms must still
+hold (section 5.1).
+"""
+
+from __future__ import annotations
+
+from common import emit, one_round, speedup_table
+
+DATASET = "ct512"
+
+
+def run() -> str:
+    parts = [f"--- {DATASET} on distributed-memory platforms ---",
+             speedup_table(DATASET, ("dash", "simulator"), ("old", "new"))]
+    return emit("fig15_ct_speedups", "\n".join(parts))
+
+
+test_fig15 = one_round(run)
+
+if __name__ == "__main__":
+    run()

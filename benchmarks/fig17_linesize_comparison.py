@@ -1,0 +1,41 @@
+"""Figure 17: spatial locality, OLD vs NEW (miss rate vs line size).
+
+Paper shape: the new algorithm benefits even more from longer cache
+lines, because each processor owns longer contiguous stretches of the
+intermediate image.
+"""
+
+from __future__ import annotations
+
+from common import HEADLINE, SCALE, emit, machine_for, one_round, record_frames
+
+from repro.analysis.breakdown import format_table
+from repro.analysis.workingset import line_size_sweep
+
+N_PROCS = 16
+LINES = (16, 32, 64, 128, 256)
+
+
+def run() -> str:
+    machine = machine_for("simulator", SCALE)
+    curves = {}
+    for alg in ("old", "new"):
+        frames = record_frames(
+            HEADLINE, alg, N_PROCS, scale=SCALE,
+            mem_per_line_touch=machine.mem_per_line_touch if alg == "new" else None,
+        )
+        pts = line_size_sweep(frames, machine, lines=LINES)
+        curves[alg] = {p.value: p.miss_rate for p in pts}
+    headers = ["line_B", "old_total%", "new_total%", "new/old"]
+    rows = []
+    for line in LINES:
+        o, n = curves["old"][line], curves["new"][line]
+        rows.append((line, o, n, n / o if o else float("nan")))
+    table = format_table(headers, rows)
+    return emit("fig17_linesize_comparison", table)
+
+
+test_fig17 = one_round(run)
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,47 @@
+"""Figure 18: working sets of the NEW renderer.
+
+(a) vs processor count for the 512^3 set — unlike the old program, the
+working set *shrinks* (slowly) as P grows, because each processor's
+contiguous block contracts (~n^2/P);
+(b) vs data set at 32 processors — even 512^3 fits a small cache.
+"""
+
+from __future__ import annotations
+
+from common import HEADLINE, MRI_SETS, SCALE, emit, machine_for, one_round, record_frames
+
+from repro.analysis.breakdown import format_table
+from repro.analysis.workingset import cache_size_sweep, working_set_size
+
+SIZES = tuple(2**k for k in range(9, 17, 2)) + (2**16,)
+
+
+def _sweep(dataset, n_procs, machine):
+    frames = record_frames(dataset, "new", n_procs, scale=SCALE,
+                           mem_per_line_touch=machine.mem_per_line_touch)
+    return cache_size_sweep(frames, machine, sizes=SIZES)
+
+
+def run() -> str:
+    machine = machine_for("simulator", SCALE)
+    parts = [f"(a) working set vs processors ({HEADLINE}, new algorithm)"]
+    rows = []
+    for p in (1, 8, 32):
+        pts = _sweep(HEADLINE, p, machine)
+        rows.append((p, working_set_size(pts), pts[0].miss_rate, pts[-1].miss_rate))
+    parts.append(format_table(["P", "knee_B", "rate@min%", "rate@max%"], rows))
+
+    parts.append("\n(b) working set vs data set (32 processors)")
+    rows = []
+    for ds in MRI_SETS:
+        pts = _sweep(ds, 32, machine)
+        rows.append((ds, working_set_size(pts), pts[0].miss_rate, pts[-1].miss_rate))
+    parts.append(format_table(["dataset", "knee_B", "rate@min%", "rate@max%"], rows))
+    parts.append("(paper shape: (a) knee shrinks with P; (b) stays small even at 512^3)")
+    return emit("fig18_new_workingset", "\n".join(parts))
+
+
+test_fig18 = one_round(run)
+
+if __name__ == "__main__":
+    run()

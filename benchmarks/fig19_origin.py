@@ -1,0 +1,17 @@
+"""Figure 19: OLD vs NEW speedups on the SGI Origin2000 (up to 16 procs)."""
+
+from __future__ import annotations
+
+from common import HEADLINE, emit, one_round, speedup_table
+
+
+def run() -> str:
+    table = speedup_table(HEADLINE, ("origin2000",), ("old", "new"),
+                          procs=(1, 2, 4, 8, 16))
+    return emit("fig19_origin", table)
+
+
+test_fig19 = one_round(run)
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,28 @@
+"""Figure 20: OLD vs NEW speedups on the page-based SVM platform.
+
+Paper shape: the new algorithm substantially outperforms the old one —
+page-granularity coherence punishes the old scheme's interleaved small
+chunks (false sharing + fragmented communication) and its inter-phase
+barrier, which contention makes very expensive.
+"""
+
+from __future__ import annotations
+
+from common import MRI_SETS, emit, one_round, svm_speedup_rows
+
+from repro.analysis.breakdown import format_table
+
+
+def run() -> str:
+    parts = []
+    for dataset in MRI_SETS:
+        parts.append(f"--- {dataset} on the SVM platform ---")
+        rows = svm_speedup_rows(dataset)
+        parts.append(format_table(["P", "old", "new"], rows))
+    return emit("fig20_svm_speedups", "\n".join(parts))
+
+
+test_fig20 = one_round(run)
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,30 @@
+"""Figure 21: execution-time breakdown of the OLD renderer on SVM.
+
+Paper shape: extremely high data-wait (remote page faults) and barrier
+time; the inter-phase barrier is expensive not because of the barrier
+operation but because communication-induced contention delays its
+messages.
+"""
+
+from __future__ import annotations
+
+from common import HEADLINE, PROCS, emit, one_round, svm_simulate
+
+from repro.analysis.breakdown import format_table
+
+
+def run(algorithm: str = "old", name: str = "fig21_svm_old_breakdown") -> str:
+    headers = ["P", "compute%", "data%", "barrier%", "lock%", "contention"]
+    rows = []
+    for p in PROCS:
+        rep = svm_simulate(HEADLINE, algorithm, p)
+        f = rep.fractions()
+        rows.append((p, 100 * f["compute"], 100 * f["data"],
+                     100 * f["barrier"], 100 * f["lock"], rep.contention))
+    return emit(name, format_table(headers, rows))
+
+
+test_fig21 = one_round(run)
+
+if __name__ == "__main__":
+    run()

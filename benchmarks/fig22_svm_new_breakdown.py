@@ -1,0 +1,23 @@
+"""Figure 22: execution-time breakdown of the NEW renderer on SVM.
+
+Paper shape: data and barrier wait collapse relative to Figure 21 (the
+identical partitioning eliminates the inter-phase barrier; coarse
+contiguous access patterns suit page-grain coherence); lock overhead can
+tick up slightly from the finer stealing chunks.
+"""
+
+from __future__ import annotations
+
+from common import one_round
+
+from fig21_svm_old_breakdown import run as _run_old
+
+
+def run() -> str:
+    return _run_old(algorithm="new", name="fig22_svm_new_breakdown")
+
+
+test_fig22 = one_round(run)
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,48 @@
+"""Real shared-memory parallel rendering on this machine.
+
+Runs the new algorithm's partitioning with actual worker processes
+sharing the image buffers through multiprocessing.shared_memory, and
+measures wall-clock time vs worker count.  (On a single-core host the
+parallel runs add process overhead without speedup — the 1997-platform
+results come from the simulator, not from this demo.)
+
+Run:  python examples/multicore_speedup.py [size]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.datasets import mri_brain
+from repro.parallel.mp_backend import render_parallel_mp
+from repro.render import ShearWarpRenderer
+from repro.volume import mri_transfer_function
+
+
+def main(size: int = 64) -> None:
+    cores = os.cpu_count() or 1
+    print(f"Host has {cores} core(s).")
+    volume = mri_brain((size, size, int(size * 0.65)))
+    renderer = ShearWarpRenderer(volume, mri_transfer_function())
+    view = renderer.view_from_angles(20, 30, 0)
+
+    t0 = time.perf_counter()
+    ref = renderer.render(view)
+    serial = time.perf_counter() - t0
+    print(f"serial render:        {serial:6.2f}s")
+
+    for workers in (1, 2, 4):
+        t0 = time.perf_counter()
+        res = render_parallel_mp(renderer, view, n_procs=workers)
+        dt = time.perf_counter() - t0
+        ok = np.allclose(res.final.color, ref.final.color, atol=1e-5)
+        print(f"{workers} worker process(es): {dt:6.2f}s  "
+              f"speedup {serial / dt:4.2f}x  image {'OK' if ok else 'MISMATCH'}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 64)

@@ -1,0 +1,59 @@
+"""Shear-warp vs ray casting: the serial comparison behind Figure 2.
+
+Renders the same classified brain with both algorithms from the same
+viewpoint, checks the images agree, and reports the op-count structure
+(the ray caster drowns in looping/addressing; the shear warper streams).
+
+Run:  python examples/raycaster_comparison.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.datasets import mri_brain
+from repro.render import ShearWarpRenderer, WorkCounters
+from repro.render.octree import MinMaxOctree
+from repro.render.raycast import RayCastRenderer, render_raycast
+from repro.volume import mri_transfer_function
+
+
+def main() -> None:
+    volume = mri_brain((40, 40, 28))
+    tf = mri_transfer_function()
+    view_angles = (15, 25, 0)
+
+    sw = ShearWarpRenderer(volume, tf)
+    view = sw.view_from_angles(*view_angles)
+
+    c_sw = WorkCounters()
+    t0 = time.perf_counter()
+    sw_result = sw.render(view, counters=c_sw)
+    t_sw = time.perf_counter() - t0
+
+    rc = RayCastRenderer(sw.classified, MinMaxOctree.build(sw.classified.opacity))
+    c_rc = WorkCounters()
+    t0 = time.perf_counter()
+    rc_final = render_raycast(rc, view, counters=c_rc)
+    t_rc = time.perf_counter() - t0
+
+    print("shear-warp:")
+    print(f"  {t_sw:.2f}s host; {c_sw.resample_ops} resamples, "
+          f"{c_sw.run_entries} run entries, {c_sw.loop_iters} loop iterations")
+    print("ray caster:")
+    print(f"  {t_rc:.2f}s host; {c_rc.ray_steps} samples, "
+          f"{c_rc.octree_visits} octree visits, {c_rc.loop_iters} rays")
+
+    # Same scene from the same view: projected alpha mass should agree.
+    m_sw = sw_result.final.alpha.sum()
+    m_rc = rc_final.alpha.sum()
+    print(f"\nprojected alpha mass: shear-warp {m_sw:.0f} vs ray-cast {m_rc:.0f} "
+          f"({100 * abs(m_sw - m_rc) / m_sw:.1f}% apart)")
+    print(f"octree visits per sample: {c_rc.octree_visits / max(1, c_rc.ray_steps):.1f} "
+          "(the 'looping' overhead the shear-warper avoids)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""repro — reproduction of Jiang & Singh, "Improving Parallel Shear-Warp
+Volume Rendering on Shared Address Space Multiprocessors" (PPoPP 1997).
+
+Subpackages
+-----------
+``transforms``   shear-warp factorization of viewing matrices
+``datasets``     synthetic MRI/CT phantom volumes (paper-input proxies)
+``volume``       classification + run-length encoding
+``render``       serial shear-warp renderer and ray-casting baseline
+``core``         the paper's contribution: old vs new parallel partitioning
+``parallel``     execution models (event-driven simulator, multiprocessing)
+``memsim``       trace-driven multiprocessor memory-system simulator
+``analysis``     speedups, time breakdowns, working-set analyses
+"""
+
+__version__ = "1.0.0"

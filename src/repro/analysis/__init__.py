@@ -1,0 +1,36 @@
+"""Experiment harness, time/miss breakdowns, and working-set analyses."""
+
+from .breakdown import combined_stats, format_table, miss_breakdown, time_breakdown_rows
+from .harness import (
+    DEFAULT_ELONGATE,
+    DEFAULT_SCALE,
+    get_renderer,
+    machine_for,
+    record_frames,
+    simulate,
+    speedup_curve,
+    steady_frame,
+)
+from .report import collect_results, render_report
+from .workingset import SweepPoint, cache_size_sweep, line_size_sweep, working_set_size
+
+__all__ = [
+    "combined_stats",
+    "format_table",
+    "miss_breakdown",
+    "time_breakdown_rows",
+    "DEFAULT_ELONGATE",
+    "DEFAULT_SCALE",
+    "get_renderer",
+    "machine_for",
+    "record_frames",
+    "simulate",
+    "speedup_curve",
+    "steady_frame",
+    "collect_results",
+    "render_report",
+    "SweepPoint",
+    "cache_size_sweep",
+    "line_size_sweep",
+    "working_set_size",
+]

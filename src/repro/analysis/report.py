@@ -1,0 +1,83 @@
+"""Assemble archived benchmark outputs into one markdown report.
+
+After ``pytest benchmarks/ --benchmark-only`` has populated
+``benchmarks/results/``, this module stitches the per-figure tables into
+a single document (``python -m repro.analysis.report > report.md``),
+ordered as in the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["FIGURE_ORDER", "collect_results", "render_report"]
+
+#: Paper presentation order with section headers.
+FIGURE_ORDER: tuple[tuple[str, str], ...] = (
+    ("fig02_serial_breakdown", "Figure 2 — serial ray-caster vs shear-warper"),
+    ("fig04_old_speedups", "Figure 4 — old-algorithm speedups (512^3 MRI)"),
+    ("fig05_old_breakdown", "Figure 5 — old-algorithm time breakdown"),
+    ("fig06_old_speedups_datasets", "Figure 6 — old speedups across data sets"),
+    ("fig07_old_miss_breakdown", "Figure 7 — miss classes vs processors"),
+    ("fig08_old_linesize", "Figure 8 — miss classes vs line size"),
+    ("fig09_old_workingset", "Figure 9 — old-algorithm working sets"),
+    ("fig10_profile", "Figure 10 — per-scanline cost profile"),
+    ("fig11_partition", "Figure 11 — cumulative-profile partitioning"),
+    ("fig12_new_vs_old_dash", "Figure 12 — old vs new on DASH"),
+    ("fig13_new_vs_old_sim", "Figure 13 — old vs new on the simulator"),
+    ("fig14_breakdown_comparison", "Figure 14 — breakdown comparison"),
+    ("fig15_ct_speedups", "Figure 15 — CT head speedups"),
+    ("fig16_miss_comparison", "Figure 16 — miss breakdown comparison"),
+    ("fig17_linesize_comparison", "Figure 17 — spatial-locality comparison"),
+    ("fig18_new_workingset", "Figure 18 — new-algorithm working sets"),
+    ("fig19_origin", "Figure 19 — Origin2000 speedups"),
+    ("fig20_svm_speedups", "Figure 20 — SVM speedups"),
+    ("fig21_svm_old_breakdown", "Figure 21 — SVM breakdown (old)"),
+    ("fig22_svm_new_breakdown", "Figure 22 — SVM breakdown (new)"),
+    ("ablation_steal_chunk", "Ablation — stealing granularity"),
+    ("ablation_chunk_size", "Ablation — old-algorithm chunk size"),
+    ("ablation_profile_period", "Ablation — profiling period"),
+    ("ablation_warp_partition", "Ablation — warp-phase partitioning"),
+    ("ablation_partition_strategy", "Ablation — partition strategy matrix"),
+    ("ablation_early_termination", "Ablation — early ray termination"),
+)
+
+
+def default_results_dir() -> Path:
+    return Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def collect_results(results_dir: str | Path | None = None) -> dict[str, str]:
+    """Read every archived table; returns ``{bench name: table text}``."""
+    d = Path(results_dir) if results_dir else default_results_dir()
+    out: dict[str, str] = {}
+    if not d.is_dir():
+        return out
+    for path in sorted(d.glob("*.txt")):
+        out[path.stem] = path.read_text().rstrip()
+    return out
+
+
+def render_report(results_dir: str | Path | None = None) -> str:
+    """The full markdown report (missing figures are flagged)."""
+    results = collect_results(results_dir)
+    lines = [
+        "# Reproduction report — Jiang & Singh, PPoPP 1997",
+        "",
+        "Generated from benchmarks/results/.  See EXPERIMENTS.md for the",
+        "paper-vs-measured discussion and scaling rules.",
+    ]
+    for name, title in FIGURE_ORDER:
+        lines += ["", f"## {title}", ""]
+        if name in results:
+            lines += ["```", results[name], "```"]
+        else:
+            lines.append(f"*missing — run `python benchmarks/{name}.py`*")
+    extras = sorted(set(results) - {n for n, _ in FIGURE_ORDER})
+    for name in extras:
+        lines += ["", f"## {name}", "", "```", results[name], "```"]
+    return "\n".join(lines) + "\n"
+
+
+if __name__ == "__main__":
+    print(render_report(), end="")

@@ -1,0 +1,101 @@
+"""Command-line interface: render volumes and run paper experiments.
+
+Examples::
+
+    python -m repro.cli render --dataset mri256 --scale 0.2 --out brain.npz
+    python -m repro.cli speedup --dataset mri512 --machine simulator
+    python -m repro.cli info
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from . import __version__
+    from .datasets import PAPER_DATASETS
+    from .memsim import MACHINES
+
+    print(f"repro {__version__} — parallel shear-warp volume rendering "
+          "(Jiang & Singh, PPoPP 1997)")
+    print("\ndata sets (paper resolutions):")
+    for name, spec in PAPER_DATASETS.items():
+        print(f"  {name:8s} {spec.modality.upper():3s} {spec.paper_shape}")
+    print("\nmodeled platforms:")
+    for name, factory in MACHINES.items():
+        m = factory()
+        print(f"  {name:12s} {m.cache_bytes // 1024:5d} KB cache, "
+              f"{m.line_bytes:3d} B lines, "
+              f"{'bus' if m.centralized else 'NUMA'}, "
+              f"max {m.max_procs} procs")
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from .analysis.harness import get_renderer
+    from .render.fast import render_fast
+
+    renderer = get_renderer(args.dataset, args.scale)
+    view = renderer.view_from_angles(args.rx, args.ry, args.rz)
+    result = render_fast(renderer, view)
+    print(f"rendered {args.dataset} proxy {renderer.shape} -> "
+          f"final image {result.final.shape}, "
+          f"alpha mass {result.final.alpha.sum():.0f}")
+    if args.out:
+        np.savez_compressed(args.out, color=result.final.color,
+                            alpha=result.final.alpha)
+        print(f"saved image arrays to {args.out}")
+    return 0
+
+
+def _cmd_speedup(args: argparse.Namespace) -> int:
+    from .analysis.breakdown import format_table
+    from .analysis.harness import speedup_curve
+
+    procs = tuple(int(p) for p in args.procs.split(","))
+    curves = {}
+    for alg in ("old", "new"):
+        pts = speedup_curve(args.dataset, alg, args.machine,
+                            procs=procs, scale=args.scale)
+        curves[alg] = {p.n_procs: p.speedup for p in pts}
+    rows = [(p, curves["old"].get(p, float("nan")),
+             curves["new"].get(p, float("nan")))
+            for p in procs if p in curves["old"]]
+    print(f"{args.dataset} on {args.machine} (scale {args.scale}):")
+    print(format_table(["P", "old", "new"], rows))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list data sets and platforms")
+
+    p = sub.add_parser("render", help="render one frame of a proxy data set")
+    p.add_argument("--dataset", default="mri256")
+    p.add_argument("--scale", type=float, default=0.1875)
+    p.add_argument("--rx", type=float, default=20.0)
+    p.add_argument("--ry", type=float, default=30.0)
+    p.add_argument("--rz", type=float, default=0.0)
+    p.add_argument("--out", default=None, help="save image arrays to .npz")
+
+    p = sub.add_parser("speedup", help="old-vs-new speedup curve on one machine")
+    p.add_argument("--dataset", default="mri512")
+    p.add_argument("--machine", default="simulator",
+                   choices=["dash", "challenge", "simulator", "origin2000"])
+    p.add_argument("--scale", type=float, default=0.1875)
+    p.add_argument("--procs", default="1,2,4,8,16")
+
+    args = parser.parse_args(argv)
+    return {"info": _cmd_info, "render": _cmd_render, "speedup": _cmd_speedup}[
+        args.command
+    ](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

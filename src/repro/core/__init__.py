@@ -1,0 +1,41 @@
+"""The paper's contribution: old vs new parallel shear-warp partitioning."""
+
+from .frame import COMPOSITE, WARP, ParallelFrame, TaskRecord
+from .new_renderer import DEFAULT_STEAL_CHUNK, NewParallelShearWarp
+from .old_renderer import DEFAULT_CHUNK, DEFAULT_TILE, OldParallelShearWarp
+from .partition import (
+    contiguous_partition,
+    interleaved_chunks,
+    line_ownership,
+    partition_sizes,
+    round_robin_tiles,
+    uniform_contiguous_partition,
+)
+from .profiling import (
+    PROFILING_OVERHEAD,
+    ProfileSchedule,
+    ScanlineProfile,
+    scanline_cost,
+)
+
+__all__ = [
+    "COMPOSITE",
+    "WARP",
+    "ParallelFrame",
+    "TaskRecord",
+    "DEFAULT_STEAL_CHUNK",
+    "NewParallelShearWarp",
+    "DEFAULT_CHUNK",
+    "DEFAULT_TILE",
+    "OldParallelShearWarp",
+    "contiguous_partition",
+    "interleaved_chunks",
+    "line_ownership",
+    "partition_sizes",
+    "round_robin_tiles",
+    "uniform_contiguous_partition",
+    "PROFILING_OVERHEAD",
+    "ProfileSchedule",
+    "ScanlineProfile",
+    "scanline_cost",
+]

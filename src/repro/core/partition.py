@@ -1,0 +1,163 @@
+"""Partitioning strategies for the compositing and warp phases.
+
+This module contains both partitioners the paper compares:
+
+* the **old** scheme (Lacroute/Singh): intermediate-image scanlines in
+  fixed-size chunks, assigned round-robin (interleaved) across
+  processors for the compositing phase; fixed-size square tiles of the
+  *final* image, assigned round-robin, for the warp phase;
+* the **new** scheme (the paper's contribution): one *contiguous* block
+  of intermediate-image scanlines per processor, sized from the
+  cumulative per-scanline cost profile of a previous frame by a
+  parallel-prefix + binary-search construction (section 4.3), and reused
+  identically in the warp phase with the boundary-scanline-pair
+  ownership rule of section 4.5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "interleaved_chunks",
+    "round_robin_tiles",
+    "contiguous_partition",
+    "uniform_contiguous_partition",
+    "line_ownership",
+    "partition_sizes",
+]
+
+
+def interleaved_chunks(
+    v_lo: int, v_hi: int, chunk: int, n_procs: int
+) -> list[list[tuple[int, int]]]:
+    """Old scheme: chunks of ``chunk`` scanlines, dealt round-robin.
+
+    Returns, per processor, the list of ``(start, stop)`` scanline
+    chunks initially assigned to it.
+    """
+    if chunk < 1:
+        raise ValueError("chunk must be >= 1")
+    if n_procs < 1:
+        raise ValueError("need at least one processor")
+    out: list[list[tuple[int, int]]] = [[] for _ in range(n_procs)]
+    for idx, start in enumerate(range(v_lo, v_hi, chunk)):
+        out[idx % n_procs].append((start, min(start + chunk, v_hi)))
+    return out
+
+
+def round_robin_tiles(
+    final_shape: tuple[int, int], tile: int, n_procs: int
+) -> list[list[tuple[int, int, int, int]]]:
+    """Old scheme's warp partition: square tiles dealt round-robin.
+
+    Returns, per processor, a list of ``(y0, y1, x0, x1)`` tiles.
+    """
+    if tile < 1:
+        raise ValueError("tile must be >= 1")
+    ny, nx = final_shape
+    out: list[list[tuple[int, int, int, int]]] = [[] for _ in range(n_procs)]
+    idx = 0
+    for y0 in range(0, ny, tile):
+        for x0 in range(0, nx, tile):
+            out[idx % n_procs].append((y0, min(y0 + tile, ny), x0, min(x0 + tile, nx)))
+            idx += 1
+    return out
+
+
+def contiguous_partition(profile: np.ndarray, n_procs: int, v_lo: int = 0) -> np.ndarray:
+    """New scheme: profile-balanced contiguous partition boundaries.
+
+    Implements section 4.3: build the cumulative cost curve with a
+    (parallel-prefix) scan, split the total area into ``n_procs`` equal
+    parts, and binary-search each split point into the cumulative
+    array.  ``profile[i]`` is the measured cost of scanline ``v_lo + i``.
+
+    Returns ``boundaries`` of length ``n_procs + 1``: processor ``p``
+    owns scanlines ``[boundaries[p], boundaries[p+1])`` (absolute
+    scanline indices).  Boundaries are strictly increasing whenever
+    enough scanlines exist, so no processor is starved.
+    """
+    profile = np.asarray(profile, dtype=np.float64)
+    if n_procs < 1:
+        raise ValueError("need at least one processor")
+    n = len(profile)
+    if n == 0:
+        return np.full(n_procs + 1, v_lo, dtype=np.int64)
+    cum = np.cumsum(profile)
+    total = cum[-1]
+    if total <= 0:
+        # Degenerate: no measured work; fall back to equal-count split.
+        return uniform_contiguous_partition(v_lo, v_lo + n, n_procs)
+    targets = total * np.arange(1, n_procs) / n_procs
+    # The boundary scanline is the one whose cumulative cost is closest
+    # to the target value (paper: "closest to the boundary values").
+    right = np.searchsorted(cum, targets)
+    left = np.maximum(right - 1, 0)
+    right = np.minimum(right, n - 1)
+    pick = np.where(
+        np.abs(cum[left] - targets) <= np.abs(cum[right] - targets), left, right
+    )
+    bounds = np.empty(n_procs + 1, dtype=np.int64)
+    bounds[0] = 0
+    bounds[1:-1] = pick + 1
+    bounds[-1] = n
+    # Enforce monotonicity (non-starving) when profiles are very skewed.
+    for p in range(1, n_procs):
+        bounds[p] = max(bounds[p], bounds[p - 1] + 1) if bounds[p - 1] < n else n
+        bounds[p] = min(bounds[p], n)
+    bounds = np.minimum(bounds, n)
+    return bounds + v_lo
+
+
+def uniform_contiguous_partition(v_lo: int, v_hi: int, n_procs: int) -> np.ndarray:
+    """Equal-count contiguous split (used before any profile exists)."""
+    if n_procs < 1:
+        raise ValueError("need at least one processor")
+    return np.linspace(v_lo, v_hi, n_procs + 1).round().astype(np.int64)
+
+
+def partition_sizes(boundaries: np.ndarray) -> np.ndarray:
+    """Scanlines per processor for a boundary array."""
+    return np.diff(np.asarray(boundaries, dtype=np.int64))
+
+
+def line_ownership(boundaries: np.ndarray, n_v: int) -> np.ndarray:
+    """Warp-phase ownership of intermediate scanlines (section 4.5).
+
+    Returns ``owner[v0]`` — the processor that writes final pixels whose
+    bilinear samples use intermediate scanlines ``(v0, v0 + 1)``.  By
+    default the owner of ``v0`` is the partition containing it, but the
+    pair straddling each internal boundary is assigned wholly to the
+    neighbor with *fewer* scanlines, eliminating final-image
+    write-sharing without synchronization.
+
+    Scanlines outside all partitions (the empty image top/bottom) map to
+    the nearest partition so no final pixel is orphaned.
+    """
+    boundaries = np.asarray(boundaries, dtype=np.int64)
+    n_procs = len(boundaries) - 1
+    owner = np.empty(n_v, dtype=np.int64)
+    sizes = partition_sizes(boundaries)
+    for p in range(n_procs):
+        lo = max(0, int(boundaries[p]))
+        hi = min(n_v, int(boundaries[p + 1]))
+        owner[lo:hi] = p
+    # Outside the partitioned band the intermediate image is empty; the
+    # corresponding final pixels are background writes.  Split each empty
+    # margin into contiguous per-processor slices so the (cheap) clearing
+    # work is spread without fragmenting any processor's row range.
+    lo_band = max(0, int(boundaries[0]))
+    hi_band = min(n_v, int(boundaries[-1]))
+    if lo_band > 0:
+        owner[:lo_band] = np.arange(lo_band) * n_procs // lo_band
+    if hi_band < n_v:
+        tail = n_v - hi_band
+        owner[hi_band:] = np.arange(tail) * n_procs // tail
+    # Boundary pair rule: line b-1 (owned by p, pair crosses into p+1).
+    for p in range(n_procs - 1):
+        b = int(boundaries[p + 1])
+        if 1 <= b <= n_v:
+            winner = p if sizes[p] <= sizes[p + 1] else p + 1
+            owner[b - 1] = winner
+    return owner

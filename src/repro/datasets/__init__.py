@@ -1,0 +1,25 @@
+"""Synthetic volume data sets standing in for the paper's MRI/CT scans."""
+
+from .io import load_den, load_volume, save_den, save_volume
+from .phantoms import ct_head, empty_volume, mri_brain, random_blobs, solid_sphere
+from .registry import PAPER_DATASETS, DatasetSpec, load, proxy_shape
+from .resample import downsample, resample, upsample
+
+__all__ = [
+    "load_den",
+    "load_volume",
+    "save_den",
+    "save_volume",
+    "ct_head",
+    "empty_volume",
+    "mri_brain",
+    "random_blobs",
+    "solid_sphere",
+    "PAPER_DATASETS",
+    "DatasetSpec",
+    "load",
+    "proxy_shape",
+    "downsample",
+    "resample",
+    "upsample",
+]

@@ -1,0 +1,66 @@
+"""Volume file I/O: npz archives and VolPack-style ``.den`` raw volumes.
+
+The original shear-warp distribution shipped volumes as raw "density"
+files: a tiny header of three little-endian 16-bit extents followed by
+``nx*ny*nz`` bytes in x-fastest order.  We read and write that format
+(so real VolPack data drops in if you have it) alongside a richer npz
+container that also carries metadata.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["save_volume", "load_volume", "save_den", "load_den"]
+
+_DEN_HEADER_DTYPE = np.dtype("<u2")
+
+
+def save_volume(path: str | Path, volume: np.ndarray, **metadata) -> None:
+    """Save a uint8 volume plus JSON-encodable metadata to ``.npz``."""
+    volume = np.asarray(volume)
+    if volume.ndim != 3:
+        raise ValueError("expected a 3-D volume")
+    np.savez_compressed(
+        path,
+        volume=volume.astype(np.uint8),
+        metadata=json.dumps(metadata),
+    )
+
+
+def load_volume(path: str | Path) -> tuple[np.ndarray, dict]:
+    """Load a volume saved by :func:`save_volume`; returns (volume, meta)."""
+    with np.load(path, allow_pickle=False) as data:
+        volume = data["volume"]
+        meta = json.loads(str(data["metadata"]))
+    return volume, meta
+
+
+def save_den(path: str | Path, volume: np.ndarray) -> None:
+    """Write a VolPack-style raw density file."""
+    volume = np.asarray(volume)
+    if volume.ndim != 3:
+        raise ValueError("expected a 3-D volume")
+    if max(volume.shape) >= 1 << 16:
+        raise ValueError("extents must fit 16 bits")
+    with open(path, "wb") as f:
+        np.asarray(volume.shape, dtype=_DEN_HEADER_DTYPE).tofile(f)
+        # x-fastest storage: our arrays are [x, y, z] C-order (z fastest),
+        # so transpose before flattening.
+        volume.astype(np.uint8).transpose(2, 1, 0).tofile(f)
+
+
+def load_den(path: str | Path) -> np.ndarray:
+    """Read a VolPack-style raw density file into an ``[x, y, z]`` array."""
+    with open(path, "rb") as f:
+        shape = np.fromfile(f, dtype=_DEN_HEADER_DTYPE, count=3)
+        if len(shape) != 3 or np.any(shape == 0):
+            raise ValueError(f"{path}: bad .den header")
+        nx, ny, nz = (int(s) for s in shape)
+        data = np.fromfile(f, dtype=np.uint8, count=nx * ny * nz)
+    if data.size != nx * ny * nz:
+        raise ValueError(f"{path}: truncated voxel data")
+    return data.reshape(nz, ny, nx).transpose(2, 1, 0)

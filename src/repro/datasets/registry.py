@@ -1,0 +1,93 @@
+"""Named data sets matching the paper's inputs, with proxy scaling.
+
+The paper's experiments use a fixed roster of inputs (section 3.3):
+
+========  ===================  =========================================
+name      paper shape          description
+========  ===================  =========================================
+mri128    128 x 128 x 128      MRI human brain
+mri256    256 x 256 x 167      MRI human brain (the "256^3" set)
+mri512    511 x 511 x 333      MRI human brain (the "512^3" set)
+mri640    640 x 640 x 417      MRI human brain, up-sampled
+ct128     128 x 128 x 128      CT human head
+ct256     256 x 256 x 256      CT human head
+ct512     511 x 511 x 511      CT human head
+========  ===================  =========================================
+
+Pure-Python trace-driven simulation cannot run 512^3 volumes in
+reasonable time, so every experiment runs the same roster at a *proxy
+scale*: ``load(name, scale=s)`` returns a phantom whose shape is the
+paper shape times ``s`` (default 1/8), preserving the aspect ratios
+(hence shear geometry) and relative sizes *between* data sets — which is
+what the cross-data-set comparisons (Figures 6, 9, 12, 13, 18, 20)
+depend on.  Machine cache sizes are scaled correspondingly by
+:mod:`repro.memsim.machine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from . import phantoms
+from .resample import resample
+
+__all__ = ["DatasetSpec", "PAPER_DATASETS", "load", "proxy_shape"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named paper input: modality, full-resolution shape, seed."""
+
+    name: str
+    modality: str  # "mri" or "ct"
+    paper_shape: tuple[int, int, int]
+    seed: int
+
+
+PAPER_DATASETS: dict[str, DatasetSpec] = {
+    "mri128": DatasetSpec("mri128", "mri", (128, 128, 128), 7),
+    "mri256": DatasetSpec("mri256", "mri", (256, 256, 167), 7),
+    "mri512": DatasetSpec("mri512", "mri", (511, 511, 333), 7),
+    "mri640": DatasetSpec("mri640", "mri", (640, 640, 417), 7),
+    "ct128": DatasetSpec("ct128", "ct", (128, 128, 128), 21),
+    "ct256": DatasetSpec("ct256", "ct", (256, 256, 256), 21),
+    "ct512": DatasetSpec("ct512", "ct", (511, 511, 511), 21),
+}
+
+
+def proxy_shape(
+    name: str, scale: float = 0.125, elongate: float = 1.0
+) -> tuple[int, int, int]:
+    """Shape of the proxy volume for data set ``name`` at ``scale``.
+
+    ``elongate`` stretches the y axis only.  With the default oblique
+    views, y is the intermediate image's *scanline* axis, so elongation
+    restores a realistic ratio of scanlines to processors (the paper's
+    511-wide sets give ~26 scanlines per processor at P=32; an isotropic
+    1/8-scale proxy gives only ~2) while leaving the per-scanline
+    working set (a plane ⊥ the intermediate image, ~x*z) and the shear
+    geometry untouched.
+    """
+    spec = PAPER_DATASETS[name]
+    f = (scale, scale * elongate, scale)
+    return tuple(max(8, int(round(n * s))) for n, s in zip(spec.paper_shape, f))
+
+
+def load(name: str, scale: float = 0.125, elongate: float = 1.0) -> np.ndarray:
+    """Generate the proxy phantom for paper data set ``name``.
+
+    The phantom is synthesized at (close to) the proxy resolution and
+    resampled exactly to it, mirroring the paper's use of a resampling
+    tool to construct the larger inputs.
+    """
+    if name not in PAPER_DATASETS:
+        raise KeyError(f"unknown data set {name!r}; known: {sorted(PAPER_DATASETS)}")
+    spec = PAPER_DATASETS[name]
+    shape = proxy_shape(name, scale, elongate)
+    gen = phantoms.mri_brain if spec.modality == "mri" else phantoms.ct_head
+    vol = gen(shape, seed=spec.seed)
+    if vol.shape != shape:
+        vol = resample(vol, shape)
+    return vol

@@ -1,0 +1,48 @@
+"""Trace-driven multiprocessor memory-system simulation."""
+
+from .address import WORD_BYTES, AddressSpace
+from .coherence import COST_KINDS, MISS_CLASSES, CoherentSystem, MissStats
+from .costmodel import StallModel, memory_stalls
+from .machine import (
+    MACHINES,
+    MachineConfig,
+    cache_scale_for,
+    ccnuma_sim,
+    challenge,
+    dash,
+    origin2000,
+    svm_cluster,
+)
+from .perfcounters import COUNTER_LIMITS, CounterReport, PhaseCounters, sample_counters
+from .svm import SVMConfig, SVMFrameReport, SVMSimulator, simulate_frame_svm
+from .trace import build_streams, replay_interleaved, stream_page_sets
+
+__all__ = [
+    "WORD_BYTES",
+    "AddressSpace",
+    "COST_KINDS",
+    "MISS_CLASSES",
+    "CoherentSystem",
+    "MissStats",
+    "StallModel",
+    "memory_stalls",
+    "MACHINES",
+    "MachineConfig",
+    "cache_scale_for",
+    "ccnuma_sim",
+    "challenge",
+    "dash",
+    "origin2000",
+    "svm_cluster",
+    "COUNTER_LIMITS",
+    "CounterReport",
+    "PhaseCounters",
+    "sample_counters",
+    "SVMConfig",
+    "SVMFrameReport",
+    "SVMSimulator",
+    "simulate_frame_svm",
+    "build_streams",
+    "replay_interleaved",
+    "stream_page_sets",
+]

@@ -1,0 +1,59 @@
+"""Virtual address-space layout for traced data structures.
+
+Range records from the renderers are region-relative; the simulator
+needs flat addresses so cache lines and (round-robin) page homes can be
+computed.  Each region is placed on a fresh page boundary with a guard
+page between regions, so distinct structures never share a cache line
+or page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AddressSpace", "WORD_BYTES"]
+
+WORD_BYTES = 4
+
+
+@dataclass
+class AddressSpace:
+    """Maps (region, byte offset) to flat byte addresses."""
+
+    bases: dict[str, int]
+    limit: int
+    page_bytes: int
+
+    @classmethod
+    def layout(cls, region_sizes: dict[str, int], page_bytes: int = 4096) -> "AddressSpace":
+        bases: dict[str, int] = {}
+        cursor = page_bytes  # keep address 0 unused
+        for idx, region in enumerate(sorted(region_sizes)):
+            # Stagger bases by an odd multiple of 32 bytes so distinct
+            # structures do not systematically alias to the same cache
+            # sets (page-aligned bases would all collide at offset 0,
+            # which real allocators avoid).
+            cursor += 544 * (idx + 1)
+            bases[region] = cursor
+            size = max(1, region_sizes[region])
+            end = cursor + size
+            cursor = (end + page_bytes - 1) // page_bytes * page_bytes + page_bytes
+        return cls(bases=bases, limit=cursor, page_bytes=page_bytes)
+
+    def resolve(self, region: str, start_byte: int, n_bytes: int) -> tuple[int, int]:
+        """Flat ``(start_byte, n_bytes)`` for a region-relative range."""
+        base = self.bases[region]
+        return base + start_byte, n_bytes
+
+    def page_of(self, byte_addr: int) -> int:
+        return byte_addr // self.page_bytes
+
+    def region_of(self, byte_addr: int) -> str:
+        """Inverse lookup (diagnostics only)."""
+        best = None
+        for region, base in self.bases.items():
+            if base <= byte_addr and (best is None or base > self.bases[best]):
+                best = region
+        if best is None:
+            raise ValueError(f"address {byte_addr:#x} below all regions")
+        return best

@@ -1,0 +1,311 @@
+"""Trace-driven multiprocessor cache-coherence simulator.
+
+Models what the paper's Tango-Lite-based simulator measured: P
+processors with private set-associative LRU caches kept coherent by a
+directory invalidation protocol, round-robin page placement, and
+Dubois/Woo-style miss classification:
+
+``cold``
+    first reference by this processor to the line;
+``true``
+    a word this access reads/writes was written by *another* processor
+    since this processor last touched the line (inherent communication);
+``false``
+    the line was invalidated by another processor's write, but only to
+    words this access does not touch (line-granularity artifact);
+``replacement``
+    the line was evicted for capacity/conflict reasons (the paper lumps
+    capacity and conflict together as "replacement" misses).
+
+Misses are also classified by *where* they are satisfied — ``local``
+(home memory is the requester's node), ``remote2`` (clean at a remote
+home), ``remote3`` (dirty in a third node) — which the cost model turns
+into stall cycles.  On a centralized (bus) machine every miss is
+``local``-class; the shared bus is handled by the contention model.
+
+Accesses are *range records* (start, length, read/write): the simulator
+walks the cache lines a range covers, one directory transaction per
+line, while counting every word as a reference so miss *rates* match a
+word-granularity trace of the same streaming access pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .address import AddressSpace
+from .machine import MachineConfig
+
+__all__ = ["MissStats", "CoherentSystem", "MISS_CLASSES", "COST_KINDS"]
+
+MISS_CLASSES = ("cold", "true", "false", "replacement")
+COST_KINDS = ("local", "remote2", "remote3")
+
+
+@dataclass
+class MissStats:
+    """Per-processor reference/miss accounting for one measurement scope."""
+
+    n_procs: int
+    refs: list[int] = field(default_factory=list)
+    misses: list[dict[str, int]] = field(default_factory=list)
+    kinds: list[dict[str, int]] = field(default_factory=list)
+    upgrades: list[int] = field(default_factory=list)
+    invalidations: int = 0
+    home_bytes: list[int] = field(default_factory=list)  # per supplying node
+
+    def __post_init__(self) -> None:
+        self.refs = [0] * self.n_procs
+        self.misses = [{c: 0 for c in MISS_CLASSES} for _ in range(self.n_procs)]
+        self.kinds = [{k: 0 for k in COST_KINDS} for _ in range(self.n_procs)]
+        self.upgrades = [0] * self.n_procs
+        self.home_bytes = [0] * self.n_procs
+
+    # -- aggregates ---------------------------------------------------------
+
+    def total_refs(self) -> int:
+        return sum(self.refs)
+
+    def total_misses(self, klass: str | None = None) -> int:
+        if klass is None:
+            return sum(sum(m.values()) for m in self.misses)
+        return sum(m[klass] for m in self.misses)
+
+    def miss_rate(self, klass: str | None = None, include_cold: bool = True) -> float:
+        """Misses per reference (optionally for one class, or sans cold)."""
+        refs = self.total_refs()
+        if refs == 0:
+            return 0.0
+        if klass is not None:
+            return self.total_misses(klass) / refs
+        total = self.total_misses()
+        if not include_cold:
+            total -= self.total_misses("cold")
+        return total / refs
+
+    def proc_misses(self, p: int) -> int:
+        return sum(self.misses[p].values())
+
+    def remote_fraction(self) -> float:
+        """Fraction of misses not satisfied locally."""
+        total = self.total_misses()
+        if total == 0:
+            return 0.0
+        remote = sum(k["remote2"] + k["remote3"] for k in self.kinds)
+        return remote / total
+
+    def breakdown(self) -> dict[str, float]:
+        """Miss rate per class — the stacked bars of Figures 7/8/16/17."""
+        return {c: self.miss_rate(c) for c in MISS_CLASSES}
+
+
+class _DirEntry:
+    """Directory state for one cache line."""
+
+    __slots__ = ("owner", "sharers", "writes", "last_access", "invalidated")
+
+    def __init__(self) -> None:
+        self.owner: int = -1  # processor holding the line dirty, or -1
+        self.sharers: set[int] = set()
+        self.writes: dict[int, tuple[int, int, int]] = {}  # p -> (t, lo, hi)
+        self.last_access: dict[int, int] = {}
+        self.invalidated: set[int] = set()  # procs whose copy died by coherence
+
+
+class CoherentSystem:
+    """P caches + directory over a flat address space."""
+
+    def __init__(
+        self,
+        n_procs: int,
+        machine: MachineConfig,
+        addr_space: AddressSpace,
+    ) -> None:
+        if n_procs < 1:
+            raise ValueError("need at least one processor")
+        self.n_procs = n_procs
+        self.machine = machine
+        self.addr = addr_space
+        self.line_bytes = machine.line_bytes
+        self.assoc = max(1, machine.assoc)
+        n_lines = max(1, machine.cache_bytes // machine.line_bytes)
+        self.n_sets = max(1, n_lines // self.assoc)
+        # caches[p][set] -> dict line_id -> None (dict order = LRU order).
+        self.caches: list[list[dict[int, None]]] = [
+            [dict() for _ in range(self.n_sets)] for _ in range(n_procs)
+        ]
+        self.directory: dict[int, _DirEntry] = {}
+        self.clock = 0
+        self.stats = MissStats(n_procs)
+        self._lines_per_page = max(1, machine.page_bytes // machine.line_bytes)
+
+    # -- state snapshot --------------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """Capture cache + directory state (cheap structural copy)."""
+        caches = [[dict(s) for s in proc] for proc in self.caches]
+        directory = {}
+        for line, e in self.directory.items():
+            c = _DirEntry()
+            c.owner = e.owner
+            c.sharers = set(e.sharers)
+            c.writes = dict(e.writes)
+            c.last_access = dict(e.last_access)
+            c.invalidated = set(e.invalidated)
+            directory[line] = c
+        return (caches, directory, self.clock)
+
+    def restore(self, snap: tuple) -> None:
+        """Restore state captured by :meth:`snapshot`."""
+        caches, directory, clock = snap
+        self.caches = [[dict(s) for s in proc] for proc in caches]
+        self.directory = {}
+        for line, e in directory.items():
+            c = _DirEntry()
+            c.owner = e.owner
+            c.sharers = set(e.sharers)
+            c.writes = dict(e.writes)
+            c.last_access = dict(e.last_access)
+            c.invalidated = set(e.invalidated)
+            self.directory[line] = c
+        self.clock = clock
+
+    # -- measurement scopes --------------------------------------------------
+
+    def new_scope(self) -> MissStats:
+        """Start recording into a fresh stats object (state persists)."""
+        self.stats = MissStats(self.n_procs)
+        return self.stats
+
+    # -- topology -------------------------------------------------------------
+
+    def home_of(self, line: int) -> int:
+        """Home node of a line: pages placed round-robin (section 3.4.2)."""
+        return (line // self._lines_per_page) % self.n_procs
+
+    # -- the access path -------------------------------------------------------
+
+    def access_range(self, p: int, byte_lo: int, n_bytes: int, write: bool = False) -> None:
+        """One sequential access to ``[byte_lo, byte_lo + n_bytes)``."""
+        if n_bytes <= 0:
+            return
+        lb = self.line_bytes
+        line_lo = byte_lo // lb
+        line_hi = (byte_lo + n_bytes - 1) // lb
+        stats = self.stats
+        words = max(1, n_bytes // 4)
+        stats.refs[p] += words
+        for line in range(line_lo, line_hi + 1):
+            lo = max(byte_lo, line * lb)
+            hi = min(byte_lo + n_bytes, (line + 1) * lb)
+            self._access_line(p, line, lo // 4, (hi + 3) // 4, write)
+
+    def _access_line(self, p: int, line: int, w_lo: int, w_hi: int, write: bool) -> None:
+        self.clock += 1
+        t = self.clock
+        stats = self.stats
+        entry = self.directory.get(line)
+        if entry is None:
+            entry = _DirEntry()
+            self.directory[line] = entry
+
+        was_owner = entry.owner == p
+        cache_set = self.caches[p][line % self.n_sets]
+        if line in cache_set:
+            # Hit.  Refresh LRU position.
+            del cache_set[line]
+            cache_set[line] = None
+            if write and entry.owner != p:
+                # Write upgrade: invalidate other copies.
+                self._invalidate_others(p, line, entry)
+                entry.owner = p
+                stats.upgrades[p] += 1
+        else:
+            # Miss: classify, then fill.
+            seen_before = p in entry.last_access
+            if not seen_before:
+                klass = "cold"
+            else:
+                my_last = entry.last_access[p]
+                true_shared = any(
+                    wt > my_last and not (whi <= w_lo or wlo >= w_hi)
+                    for q, (wt, wlo, whi) in entry.writes.items()
+                    if q != p
+                )
+                if true_shared:
+                    klass = "true"
+                elif p in entry.invalidated:
+                    klass = "false"
+                else:
+                    klass = "replacement"
+            stats.misses[p][klass] += 1
+
+            # Where is the miss satisfied?
+            if self.machine.centralized:
+                kind = "local"
+                supplier = p
+            else:
+                home = self.home_of(line)
+                if entry.owner >= 0 and entry.owner != p:
+                    supplier = entry.owner
+                    kind = "remote2" if supplier == home or home == p else "remote3"
+                else:
+                    supplier = home
+                    kind = "local" if home == p else "remote2"
+            stats.kinds[p][kind] += 1
+            stats.home_bytes[supplier] += self.line_bytes
+
+            # A dirty copy elsewhere is flushed by the intervention.
+            if entry.owner >= 0 and entry.owner != p:
+                entry.owner = -1
+
+            # Fill; evict LRU victim if the set is full.
+            if len(cache_set) >= self.assoc:
+                victim = next(iter(cache_set))
+                del cache_set[victim]
+                self._drop_copy(p, victim, coherence=False)
+            cache_set[line] = None
+            entry.sharers.add(p)
+            entry.invalidated.discard(p)
+            if write:
+                self._invalidate_others(p, line, entry)
+                entry.owner = p
+
+        if write:
+            # Union of this processor's write spans while it has stayed
+            # the exclusive owner (a compositing row is written in many
+            # partial spans; a reader's true-sharing test must see all
+            # of them).  Losing ownership starts a fresh span.
+            prev = entry.writes.get(p)
+            if was_owner and prev is not None:
+                entry.writes[p] = (t, min(prev[1], w_lo), max(prev[2], w_hi))
+            else:
+                entry.writes[p] = (t, w_lo, w_hi)
+        entry.last_access[p] = t
+
+    def _invalidate_others(self, p: int, line: int, entry: _DirEntry) -> None:
+        set_idx = line % self.n_sets
+        for q in list(entry.sharers):
+            if q == p:
+                continue
+            cache_set = self.caches[q][set_idx]
+            if line in cache_set:
+                del cache_set[line]
+            entry.sharers.discard(q)
+            entry.invalidated.add(q)
+            self.stats.invalidations += 1
+        if entry.owner not in (-1, p):
+            entry.owner = -1
+        entry.sharers.add(p)
+
+    def _drop_copy(self, p: int, line: int, coherence: bool) -> None:
+        entry = self.directory.get(line)
+        if entry is None:
+            return
+        entry.sharers.discard(p)
+        if coherence:
+            entry.invalidated.add(p)
+        if entry.owner == p:
+            entry.owner = -1
+            # Dirty writeback travels to the home node.
+            self.stats.home_bytes[self.home_of(line)] += self.line_bytes

@@ -1,0 +1,89 @@
+"""Turning miss counts into stall cycles, with contention.
+
+The paper's simulator "models buffering and contention in detail
+everywhere except in the network links"; we use a standard open-queue
+approximation instead: each miss pays its uncontended latency times a
+contention factor derived from the utilization of the busiest memory
+port (the shared bus on a centralized machine, the hottest home node on
+a NUMA).  The factor is solved by fixed-point iteration because
+utilization depends on execution time, which depends on stalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .coherence import MissStats
+from .machine import MachineConfig
+
+__all__ = ["StallModel", "memory_stalls"]
+
+#: Cap on the queueing factor so pathological utilizations stay finite.
+_MAX_CONTENTION = 6.0
+
+
+@dataclass
+class StallModel:
+    """Per-processor stall cycles plus the solved contention factor."""
+
+    stalls: np.ndarray  # per processor, cycles
+    base_stalls: np.ndarray  # without contention
+    contention: float  # multiplier >= 1
+    utilization: float  # of the busiest port
+
+
+def _base_stalls(stats: MissStats, machine: MachineConfig) -> np.ndarray:
+    out = np.zeros(stats.n_procs)
+    for p in range(stats.n_procs):
+        s = 0.0
+        for kind, n in stats.kinds[p].items():
+            s += n * machine.miss_cost(kind)
+        s += stats.upgrades[p] * machine.t_upgrade
+        out[p] = s
+    return out
+
+
+def memory_stalls(
+    stats: MissStats,
+    machine: MachineConfig,
+    busy: np.ndarray,
+    iterations: int = 3,
+) -> StallModel:
+    """Solve stall cycles for one phase.
+
+    Parameters
+    ----------
+    stats:
+        Miss statistics of the phase.
+    busy:
+        Per-processor busy cycles of the phase (sets the time base over
+        which memory traffic is spread).
+    """
+    busy = np.asarray(busy, dtype=np.float64)
+    base = _base_stalls(stats, machine)
+    if machine.centralized:
+        # One shared bus carries all traffic.
+        port_bytes = float(sum(stats.home_bytes))
+        bandwidth = machine.node_bandwidth
+    else:
+        # The hottest home node is the bottleneck port.
+        port_bytes = float(max(stats.home_bytes, default=0.0))
+        bandwidth = machine.node_bandwidth
+
+    factor = 1.0
+    for _ in range(iterations):
+        t = float(np.max(busy + base * factor)) if len(busy) else 0.0
+        if t <= 0 or port_bytes <= 0:
+            factor = 1.0
+            break
+        rho = min(port_bytes / (t * bandwidth), 0.98)
+        factor = min(1.0 / (1.0 - rho), _MAX_CONTENTION)
+    util = port_bytes / max(1.0, float(np.max(busy + base * factor)) * bandwidth)
+    return StallModel(
+        stalls=base * factor,
+        base_stalls=base,
+        contention=factor,
+        utilization=min(util, 1.0),
+    )

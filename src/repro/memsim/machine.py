@@ -1,0 +1,213 @@
+"""Machine models: the paper's five shared-address-space platforms.
+
+Each preset captures the memory-system parameters the paper reports for
+its platforms (sections 3.2 and 5.5).  Since experiments run on
+proxy-scaled volumes, cache capacities are scaled by ``cache_scale``
+(working sets scale with n^2, so a 1/8-scale volume pairs with a 1/64
+cache scale); line sizes, associativities and latencies are *not*
+scaled — they are granularity/ratio parameters, not capacities.
+
+Latency units are processor cycles of the modeled machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "MachineConfig",
+    "dash",
+    "challenge",
+    "ccnuma_sim",
+    "origin2000",
+    "svm_cluster",
+    "MACHINES",
+    "cache_scale_for",
+]
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Memory-system parameters of one platform."""
+
+    name: str
+    centralized: bool  # True: bus-based UMA (Challenge); False: NUMA
+    cache_bytes: int  # per-processor (second-level) cache capacity
+    line_bytes: int
+    assoc: int
+    # Uncontended miss costs (cycles).
+    t_local: float  # satisfied in local memory (or bus miss on UMA)
+    t_remote2: float  # two-hop remote miss
+    t_remote3: float  # three-hop (dirty in a third node)
+    t_upgrade: float  # write upgrade (invalidation round)
+    t_hit: float = 1.0  # cache-hit cost folded into busy time
+    # Synchronization.
+    steal_cost: float = 400.0  # task-queue lock + transfer, cycles
+    barrier_base: float = 500.0  # barrier latency at P=1, cycles
+    barrier_per_proc: float = 150.0  # additional cycles per processor
+    # Bandwidth, bytes per cycle per node (memory/bus port).
+    node_bandwidth: float = 4.0
+    page_bytes: int = 4096
+    max_procs: int = 32
+    cpu_mhz: float = 100.0  # for converting cycles to seconds / fps
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / (self.cpu_mhz * 1e6)
+
+    @property
+    def mem_per_line_touch(self) -> float:
+        """Estimated stall cycles per 64-byte unit of traffic.
+
+        Used to convert a task's traffic estimate into time on this
+        machine (profiling-based partitioning and steal scheduling react
+        to elapsed time, which the paper's renderer measured natively on
+        the machine it ran on).  Small cache lines mean more misses per
+        64 bytes.
+        """
+        avg_miss = 0.5 * (self.t_local + self.t_remote2)
+        return avg_miss * (64.0 / self.line_bytes) * 0.7
+
+    def barrier_cost(self, n_procs: int) -> float:
+        """Cost of one global barrier with ``n_procs`` participants."""
+        return self.barrier_base + self.barrier_per_proc * n_procs
+
+    def miss_cost(self, kind: str) -> float:
+        """Uncontended cost of a miss of cost-class ``kind``."""
+        return {"local": self.t_local, "remote2": self.t_remote2,
+                "remote3": self.t_remote3}[kind]
+
+    def scaled(self, cache_scale: float) -> "MachineConfig":
+        """Return a copy with the cache capacity scaled (min 4 lines)."""
+        size = max(int(self.cache_bytes * cache_scale),
+                   4 * self.line_bytes * self.assoc)
+        return replace(self, cache_bytes=size)
+
+
+def cache_scale_for(volume_scale: float) -> float:
+    """Cache scale matching a proxy volume scale.
+
+    Two working sets must keep their paper-scale relation to the cache:
+    the serial/old algorithm's *plane* working set (~n^2, larger than
+    the caches of the paper's machines at 512^3) and the new algorithm's
+    per-processor *block* (~n^2/P, which fit them).  A pure n^2 scaling
+    keeps the first ratio but shrinks caches below the block; exponent
+    1.8 keeps both on the correct side of their machine's capacity at
+    the default proxy scales (see EXPERIMENTS.md for the arithmetic).
+    """
+    return volume_scale**1.8
+
+
+def dash() -> MachineConfig:
+    """Stanford DASH: 33 MHz R3000s, 256 KB L2, 16-byte lines, 2-D mesh.
+
+    Its small cache lines are the paper's explanation for DASH's high
+    miss rates (section 3.4.3); remote/local ratio ~3-4x.
+    """
+    return MachineConfig(
+        name="DASH",
+        cpu_mhz=33.0,
+        centralized=False,
+        cache_bytes=256 * 1024,
+        line_bytes=16,
+        assoc=1,
+        t_local=30.0,
+        t_remote2=101.0,
+        t_remote3=133.0,
+        t_upgrade=40.0,
+        node_bandwidth=3.6,  # ~120 MB/s at 33 MHz
+        max_procs=32,
+    )
+
+
+def challenge() -> MachineConfig:
+    """SGI Challenge: 150 MHz, 1 MB L2, 128-byte lines, 1.2 GB/s bus.
+
+    Centralized memory: every miss costs the same; the shared bus is the
+    contention point.
+    """
+    return MachineConfig(
+        name="Challenge",
+        cpu_mhz=150.0,
+        centralized=True,
+        cache_bytes=1024 * 1024,
+        line_bytes=128,
+        assoc=1,
+        t_local=60.0,
+        t_remote2=60.0,
+        t_remote3=60.0,
+        t_upgrade=30.0,
+        node_bandwidth=8.0,  # 1.2 GB/s at 150 MHz, shared by all
+        max_procs=16,
+    )
+
+
+def ccnuma_sim() -> MachineConfig:
+    """The paper's simulated modern CC-NUMA (section 3.2).
+
+    70-cycle local miss, 210/280-cycle two-/three-hop remote misses,
+    1 MB 4-way cache with 64-byte lines, 400 MB/s per node.
+    """
+    return MachineConfig(
+        name="Simulator",
+        cpu_mhz=200.0,
+        centralized=False,
+        cache_bytes=1024 * 1024,
+        line_bytes=64,
+        assoc=4,
+        t_local=70.0,
+        t_remote2=210.0,
+        t_remote3=280.0,
+        t_upgrade=80.0,
+        node_bandwidth=2.0,  # 400 MB/s at 200 MHz
+        max_procs=64,
+    )
+
+
+def origin2000() -> MachineConfig:
+    """SGI Origin2000: 195 MHz R10000, 4 MB 2-way L2, 128-byte lines."""
+    return MachineConfig(
+        name="Origin2000",
+        cpu_mhz=195.0,
+        centralized=False,
+        cache_bytes=4 * 1024 * 1024,
+        line_bytes=128,
+        assoc=2,
+        t_local=80.0,
+        t_remote2=160.0,
+        t_remote3=230.0,
+        t_upgrade=60.0,
+        node_bandwidth=4.0,  # 780 MB/s at 195 MHz
+        max_procs=16,
+    )
+
+
+def svm_cluster() -> MachineConfig:
+    """SMP nodes + Myrinet-like network, shared memory in software (HLRC).
+
+    The hardware-cache parameters model the per-node cache hierarchy;
+    the page-grain coherence behaviour lives in :mod:`repro.memsim.svm`.
+    """
+    return MachineConfig(
+        name="SVM",
+        cpu_mhz=200.0,
+        centralized=False,
+        cache_bytes=512 * 1024,
+        line_bytes=32,
+        assoc=2,
+        t_local=50.0,
+        t_remote2=0.0,  # remote data moves by page fetch, costed in svm.py
+        t_remote3=0.0,
+        t_upgrade=20.0,
+        node_bandwidth=2.0,  # 400 MB/s memory bus at 200 MHz
+        page_bytes=4096,
+        max_procs=32,
+    )
+
+
+MACHINES = {
+    "dash": dash,
+    "challenge": challenge,
+    "simulator": ccnuma_sim,
+    "origin2000": origin2000,
+    "svm": svm_cluster,
+}

@@ -1,0 +1,15 @@
+"""Execution models: event-driven logical processors and multiprocessing."""
+
+from .execution import FrameReport, PhaseReport, simulate_animation, simulate_frame
+from .scheduler import ProcSchedule, ScheduleResult, Unit, schedule
+
+__all__ = [
+    "FrameReport",
+    "PhaseReport",
+    "simulate_frame",
+    "simulate_animation",
+    "ProcSchedule",
+    "ScheduleResult",
+    "Unit",
+    "schedule",
+]

@@ -1,0 +1,130 @@
+"""Vectorized whole-frame rendering (the fast path for interactive use).
+
+The scanline kernel in :mod:`repro.render.compositing` is the faithful,
+instrumentable unit of work the parallel studies are built on.  For
+actually *using* the renderer interactively, this module composites a
+whole slice of the volume with a handful of full-plane numpy
+operations, exploiting the same structure the scanline kernel does —
+because the shear offsets are constant per slice, both bilinear
+fractions ``(fu, fj)`` are constant across the *entire* slice footprint,
+so resampling is four shifted-plane multiply-adds.
+
+Produces images numerically equal to the reference path (same
+operations in the same per-pixel order), typically ~5-20x faster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..transforms.factorization import ShearWarpFactorization
+from ..volume.rle import RLEVolume
+from .image import FinalImage, IntermediateImage
+from .serial import RenderResult, ShearWarpRenderer
+
+__all__ = ["composite_frame_fast", "warp_frame_fast", "render_fast"]
+
+
+def composite_frame_fast(
+    img: IntermediateImage,
+    rle: RLEVolume,
+    fact: ShearWarpFactorization,
+) -> IntermediateImage:
+    """Composite every slice with full-plane vector operations."""
+    ni, nj, nk = rle.shape_ijk
+    n_v, n_u = img.shape
+    thr = img.opaque_threshold
+    opac = img.opacity
+    col = img.color
+
+    for k in fact.k_front_to_back:
+        k = int(k)
+        u_off, v_off = fact.slice_offsets(k)
+        u_off, v_off = float(u_off), float(v_off)
+
+        s_o, s_c = rle.decode_slice(k)  # (nj, ni) dense planes
+        if not s_o.any():
+            continue
+        # Pad one zero row/column on each side: out-of-volume samples are
+        # transparent, exactly as the scanline kernel's padding.
+        p_o = np.zeros((nj + 2, ni + 2), dtype=np.float32)
+        p_c = np.zeros((nj + 2, ni + 2), dtype=np.float32)
+        p_o[1:-1, 1:-1] = s_o
+        p_c[1:-1, 1:-1] = s_c
+
+        # Image footprint of this slice.
+        u_lo = max(0, int(np.ceil(u_off - 1.0)))
+        u_hi = min(n_u, int(np.floor(u_off + ni - 1e-9)) + 1)
+        v_lo = max(0, int(np.ceil(v_off - 1.0)))
+        v_hi = min(n_v, int(np.floor(v_off + nj - 1e-9)) + 1)
+        if u_hi <= u_lo or v_hi <= v_lo:
+            continue
+        L, H = u_hi - u_lo, v_hi - v_lo
+        m = int(np.floor(u_lo - u_off))
+        fu = np.float32((u_lo - u_off) - m)
+        n = int(np.floor(v_lo - v_off))
+        fj = np.float32((v_lo - v_off) - n)
+
+        # Bilinear resample: four shifted sub-planes, constant weights.
+        r0, c0 = n + 1, m + 1  # padded-plane index of voxel (jA, iA)
+        a = (1 - fj) * ((1 - fu) * p_o[r0:r0 + H, c0:c0 + L]
+                        + fu * p_o[r0:r0 + H, c0 + 1:c0 + 1 + L]) \
+            + fj * ((1 - fu) * p_o[r0 + 1:r0 + 1 + H, c0:c0 + L]
+                    + fu * p_o[r0 + 1:r0 + 1 + H, c0 + 1:c0 + 1 + L])
+        c = (1 - fj) * ((1 - fu) * p_c[r0:r0 + H, c0:c0 + L]
+                        + fu * p_c[r0:r0 + H, c0 + 1:c0 + 1 + L]) \
+            + fj * ((1 - fu) * p_c[r0 + 1:r0 + 1 + H, c0:c0 + L]
+                    + fu * p_c[r0 + 1:r0 + 1 + H, c0 + 1:c0 + 1 + L])
+
+        dst_o = opac[v_lo:v_hi, u_lo:u_hi]
+        dst_c = col[v_lo:v_hi, u_lo:u_hi]
+        sel = (dst_o < thr) & (a > 0.0)
+        if not sel.any():
+            continue
+        trans = 1.0 - dst_o[sel]
+        dst_c[sel] += trans * a[sel] * c[sel]
+        dst_o[sel] += trans * a[sel]
+    return img
+
+
+def warp_frame_fast(
+    final: FinalImage,
+    img: IntermediateImage,
+    fact: ShearWarpFactorization,
+) -> FinalImage:
+    """Warp the whole final image with one vectorized gather."""
+    ny, nx = final.shape
+    n_v, n_u = img.shape
+    a_inv = np.linalg.inv(fact.warp[:2, :2])
+    b = fact.warp[:2, 2]
+    xs, ys = np.meshgrid(np.arange(nx, dtype=np.float64),
+                         np.arange(ny, dtype=np.float64))
+    u = a_inv[0, 0] * (xs - b[0]) + a_inv[0, 1] * (ys - b[1])
+    v = a_inv[1, 0] * (xs - b[0]) + a_inv[1, 1] * (ys - b[1])
+    valid = (u >= 0) & (u <= n_u - 1) & (v >= 0) & (v <= n_v - 1)
+
+    uu, vv = u[valid], v[valid]
+    u0 = np.floor(uu).astype(np.intp)
+    v0 = np.floor(vv).astype(np.intp)
+    fu = (uu - u0).astype(np.float32)
+    fv = (vv - v0).astype(np.float32)
+    u1 = np.minimum(u0 + 1, n_u - 1)
+    v1 = np.minimum(v0 + 1, n_v - 1)
+    w00, w10 = (1 - fu) * (1 - fv), fu * (1 - fv)
+    w01, w11 = (1 - fu) * fv, fu * fv
+    for src, dst in ((img.color, final.color), (img.opacity, final.alpha)):
+        out = (w00 * src[v0, u0] + w10 * src[v0, u1]
+               + w01 * src[v1, u0] + w11 * src[v1, u1])
+        dst[valid] = out
+    return final
+
+
+def render_fast(renderer: ShearWarpRenderer, view: np.ndarray) -> RenderResult:
+    """Render one frame through the vectorized path."""
+    fact = renderer.factorize_view(view)
+    rle = renderer.rle_for(fact)
+    img = IntermediateImage(fact.intermediate_shape)
+    composite_frame_fast(img, rle, fact)
+    final = FinalImage(fact.final_shape)
+    warp_frame_fast(final, img, fact)
+    return RenderResult(final=final, intermediate=img, fact=fact)

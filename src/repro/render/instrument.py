@@ -1,0 +1,136 @@
+"""Operation counting and memory-access recording hooks.
+
+The paper's methodology rests on two kinds of instrumentation:
+
+* **basic-block style op counts** (their Pixie runs / inserted profiling
+  instructions) — we count the same quantities natively in the kernels:
+  resample/composite operations, run-table entries traversed, loop
+  iterations (the "looping time" of Figure 2), warp pixels, ray steps;
+* **memory reference traces** (their Tango-Lite runs) — kernels emit
+  *range records* ``(region, start_byte, n_bytes, is_write)`` describing
+  exactly which bytes of which data structure a task touches, in order.
+
+Both are optional and cost nothing when disabled (``None`` sinks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["WorkCounters", "TraceSink", "ListTraceSink", "SegmentedTraceSink", "Region"]
+
+
+class Region:
+    """Symbolic names for traced data structures (address-space regions)."""
+
+    RUN_TABLE = "run_table"
+    VOXEL_DATA = "voxel_data"
+    INTERMEDIATE = "intermediate_image"
+    FINAL = "final_image"
+    OCTREE = "octree"
+    VOLUME_DENSE = "volume_dense"
+    PROFILE = "profile"
+
+    ALL = (RUN_TABLE, VOXEL_DATA, INTERMEDIATE, FINAL, OCTREE, VOLUME_DENSE, PROFILE)
+
+
+@dataclass
+class WorkCounters:
+    """Accumulated operation counts, in the paper's cost categories.
+
+    ``resample_ops`` and ``composite_ops`` together are the "rendering"
+    work of Figure 2; ``loop_iters`` + ``run_entries`` (+ ``octree_visits``
+    for the ray caster) are its "looping/addressing" work.
+    """
+
+    resample_ops: int = 0  # bilinear voxel resamples
+    composite_ops: int = 0  # over-operator applications
+    run_entries: int = 0  # RLE run-table entries traversed
+    loop_iters: int = 0  # per-(scanline, slice) control overhead units
+    pixels_skipped: int = 0  # opaque pixels skipped by early termination
+    warp_pixels: int = 0  # final-image pixels resampled in the warp
+    octree_visits: int = 0  # octree nodes visited (ray caster)
+    ray_steps: int = 0  # ray sample steps (ray caster)
+    profile_ops: int = 0  # profiling instrumentation instructions
+
+    def merge(self, other: "WorkCounters") -> None:
+        """Accumulate ``other`` into ``self``."""
+        for f in self.__dataclass_fields__:
+            setattr(self, f, getattr(self, f) + getattr(other, f))
+
+    def total(self) -> int:
+        """Sum of all counters (crude total-op measure)."""
+        return sum(getattr(self, f) for f in self.__dataclass_fields__)
+
+    def copy(self) -> "WorkCounters":
+        return WorkCounters(**{f: getattr(self, f) for f in self.__dataclass_fields__})
+
+
+class TraceSink:
+    """Interface for memory-trace consumers.  Default: ignore everything."""
+
+    def access(self, region: str, start_byte: int, n_bytes: int, write: bool = False) -> None:
+        """Record a sequential access to ``n_bytes`` starting at ``start_byte``."""
+
+    def set_key(self, key: int) -> None:
+        """Tag subsequent accesses with an ordering key (e.g. slice index).
+
+        The compositing kernel calls this per slice so traces can later
+        be interleaved in the *slice-major* order the real renderer
+        executes in (volume streamed once per frame, k outermost), even
+        though tasks are recorded one scanline at a time.
+        """
+
+
+@dataclass
+class ListTraceSink(TraceSink):
+    """Collects range records into a list (one list per task)."""
+
+    records: list[tuple[str, int, int, bool]] = field(default_factory=list)
+
+    def access(self, region: str, start_byte: int, n_bytes: int, write: bool = False) -> None:
+        if n_bytes > 0:
+            self.records.append((region, int(start_byte), int(n_bytes), bool(write)))
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def take(self) -> list[tuple[str, int, int, bool]]:
+        out = self.records
+        self.records = []
+        return out
+
+    def take_segments(self) -> list[tuple[int, list[tuple[str, int, int, bool]]]]:
+        """All records as one key-0 segment (TaskRecord trace format)."""
+        return [(0, self.take())]
+
+    def total_bytes(self) -> int:
+        return sum(r[2] for r in self.records)
+
+
+@dataclass
+class SegmentedTraceSink(TraceSink):
+    """Collects records into per-key segments (key = slice index).
+
+    Used for compositing tasks: a scanline's trace is recorded slice by
+    slice so the execution model can replay all of a processor's
+    scanlines in slice-major order, the order the real renderer streams
+    the volume in.
+    """
+
+    segments: list[tuple[int, list[tuple[str, int, int, bool]]]] = field(default_factory=list)
+
+    def set_key(self, key: int) -> None:
+        self.segments.append((int(key), []))
+
+    def access(self, region: str, start_byte: int, n_bytes: int, write: bool = False) -> None:
+        if n_bytes <= 0:
+            return
+        if not self.segments:
+            self.segments.append((0, []))
+        self.segments[-1][1].append((region, int(start_byte), int(n_bytes), bool(write)))
+
+    def take_segments(self) -> list[tuple[int, list[tuple[str, int, int, bool]]]]:
+        out = [(k, recs) for k, recs in self.segments if recs]
+        self.segments = []
+        return out

@@ -1,0 +1,101 @@
+"""Min-max octree over a classified volume (ray-caster acceleration).
+
+Ray casters use an octree encoding the presence of non-transparent
+voxels so rays can leap over empty space (section 2 of the paper).  The
+octree here is a pyramid of max-pooled opacity grids; level 0 is the
+voxel grid itself, each higher level halves every axis.  A cell whose
+max opacity is zero is *empty*, and a ray inside it can skip to the
+cell's exit face.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MinMaxOctree"]
+
+
+@dataclass
+class MinMaxOctree:
+    """Pyramid of per-cell max (and min) opacity grids."""
+
+    levels_max: list[np.ndarray]
+    levels_min: list[np.ndarray]
+    shape: tuple[int, int, int]
+
+    @classmethod
+    def build(cls, opacity: np.ndarray, max_levels: int = 16) -> "MinMaxOctree":
+        """Build the pyramid from a dense opacity field indexed [x, y, z]."""
+        if opacity.ndim != 3:
+            raise ValueError("opacity must be 3-D")
+        base = np.asarray(opacity, dtype=np.float32)
+        # Dilate by one voxel toward -x/-y/-z so a cell is "empty" only if
+        # every voxel a trilinear sample inside it could touch is empty
+        # (a sample at p reads floor(p) and floor(p)+1 along each axis).
+        dil = base.copy()
+        dil[:-1] = np.maximum(dil[:-1], base[1:])
+        dil[:, :-1] = np.maximum(dil[:, :-1], dil[:, 1:])
+        dil[:, :, :-1] = np.maximum(dil[:, :, :-1], dil[:, :, 1:])
+        levels_max = [dil]
+        levels_min = [base]
+        while len(levels_max) < max_levels and max(levels_max[-1].shape) > 1:
+            cur_max, cur_min = levels_max[-1], levels_min[-1]
+            pad = [(0, s % 2) for s in cur_max.shape]
+            cur_max = np.pad(cur_max, pad, constant_values=0.0)
+            cur_min = np.pad(cur_min, pad, constant_values=0.0)
+            nx, ny, nz = cur_max.shape
+            rmax = cur_max.reshape(nx // 2, 2, ny // 2, 2, nz // 2, 2)
+            rmin = cur_min.reshape(nx // 2, 2, ny // 2, 2, nz // 2, 2)
+            levels_max.append(rmax.max(axis=(1, 3, 5)))
+            levels_min.append(rmin.min(axis=(1, 3, 5)))
+        return cls(levels_max=levels_max, levels_min=levels_min, shape=opacity.shape)
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.levels_max)
+
+    def cell_max(self, level: int, point: np.ndarray) -> float:
+        """Max opacity of the level-``level`` cell containing ``point``."""
+        grid = self.levels_max[level]
+        idx = (np.asarray(point) / (2**level)).astype(np.intp)
+        idx = np.clip(idx, 0, np.array(grid.shape) - 1)
+        return float(grid[tuple(idx)])
+
+    def empty_level(self, point: np.ndarray, start_level: int | None = None) -> int:
+        """Highest level whose cell containing ``point`` is empty, or -1.
+
+        Searching from coarse to fine lets a ray skip the largest
+        possible empty block; returns -1 if even the voxel-level cell is
+        non-empty.
+        """
+        top = self.n_levels - 1 if start_level is None else start_level
+        for level in range(top, -1, -1):
+            if self.cell_max(level, point) == 0.0:
+                return level
+        return -1
+
+    def skip_exit_t(
+        self, origin: np.ndarray, direction: np.ndarray, t: float, level: int
+    ) -> float:
+        """Parameter ``t`` at which the ray exits the empty level-cell at ``t``.
+
+        ``direction`` must be (near-)unit length.  The returned value is
+        strictly greater than ``t`` (an epsilon nudge guarantees
+        progress even at cell corners).
+        """
+        size = float(2**level)
+        p = origin + t * direction
+        cell = np.floor(p / size)
+        lo = cell * size
+        hi = lo + size
+        ts = []
+        for a in range(3):
+            d = direction[a]
+            if d > 1e-12:
+                ts.append((hi[a] - origin[a]) / d)
+            elif d < -1e-12:
+                ts.append((lo[a] - origin[a]) / d)
+        t_exit = min(ts) if ts else t
+        return max(t_exit, t) + 1e-4

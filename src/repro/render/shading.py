@@ -1,0 +1,150 @@
+"""Gradient-based Phong shading (VolPack's shaded-color path).
+
+The minimal pipeline shades voxels by raw intensity only; VolPack's
+quality path classifies *and shades* during the encoding step: each
+voxel gets a surface normal from central-difference gradients, the
+normal is quantized into a lookup table, and a Phong reflectance model
+turns (normal, light, view) into a luminance that is stored in the
+run-length encoding.  Because shading happens once per volume/light
+configuration — outside the per-frame loop — it changes image quality,
+not the parallel behaviour the paper studies.
+
+Usage::
+
+    shaded = shade_volume(raw, tf, light=(1, -1, 1))
+    renderer = ShearWarpRenderer.from_classified(shaded)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..volume.classify import TransferFunction
+from ..volume.volume import ClassifiedVolume
+
+__all__ = ["PhongParameters", "central_gradients", "NormalTable", "shade_volume"]
+
+
+@dataclass(frozen=True)
+class PhongParameters:
+    """Reflectance model coefficients (single white directional light)."""
+
+    ambient: float = 0.2
+    diffuse: float = 0.6
+    specular: float = 0.4
+    shininess: float = 12.0
+
+    def __post_init__(self) -> None:
+        for name in ("ambient", "diffuse", "specular"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.shininess <= 0:
+            raise ValueError("shininess must be positive")
+
+
+def central_gradients(raw: np.ndarray) -> np.ndarray:
+    """Central-difference gradient field, shape ``(nx, ny, nz, 3)``.
+
+    Edges use one-sided differences (``np.gradient`` semantics), which
+    is what VolPack's precomputed normals do at volume borders.
+    """
+    raw = np.asarray(raw, dtype=np.float32)
+    if raw.ndim != 3:
+        raise ValueError("expected a 3-D volume")
+    gx, gy, gz = np.gradient(raw)
+    return np.stack([gx, gy, gz], axis=-1)
+
+
+class NormalTable:
+    """Quantized-normal shading lookup table.
+
+    VolPack encodes each voxel's normal as a 13-bit index and shades by
+    table lookup.  We quantize each component to ``bits`` levels on the
+    unit sphere and precompute the Phong luminance per table entry, so
+    shading a volume is one gather.
+    """
+
+    def __init__(
+        self,
+        light: tuple[float, float, float] = (1.0, -1.0, 1.0),
+        view: tuple[float, float, float] = (0.0, 0.0, 1.0),
+        params: PhongParameters | None = None,
+        bits: int = 4,
+    ) -> None:
+        if not 2 <= bits <= 6:
+            raise ValueError("bits must be in [2, 6]")
+        self.bits = bits
+        self.params = params or PhongParameters()
+        self._light = self._unit(light)
+        self._view = self._unit(view)
+        self._half = self._unit(self._light + self._view)
+        n = 1 << bits
+        # Table axes: quantized (nx, ny, nz) components in [-1, 1].
+        axis = np.linspace(-1.0, 1.0, n, dtype=np.float32)
+        nx, ny, nz = np.meshgrid(axis, axis, axis, indexing="ij")
+        norm = np.sqrt(nx**2 + ny**2 + nz**2)
+        norm[norm == 0] = 1.0
+        ux, uy, uz = nx / norm, ny / norm, nz / norm
+        n_dot_l = np.clip(ux * self._light[0] + uy * self._light[1]
+                          + uz * self._light[2], 0.0, 1.0)
+        n_dot_h = np.clip(ux * self._half[0] + uy * self._half[1]
+                          + uz * self._half[2], 0.0, 1.0)
+        p = self.params
+        self.table = (p.ambient + p.diffuse * n_dot_l
+                      + p.specular * n_dot_h**p.shininess).astype(np.float32)
+
+    @staticmethod
+    def _unit(v) -> np.ndarray:
+        v = np.asarray(v, dtype=np.float64)
+        n = np.linalg.norm(v)
+        if n < 1e-12:
+            raise ValueError("zero-length direction")
+        return v / n
+
+    @property
+    def size(self) -> int:
+        return self.table.size
+
+    def quantize(self, gradients: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Quantized table indices for a gradient field ``(..., 3)``."""
+        g = np.asarray(gradients, dtype=np.float32)
+        mag = np.linalg.norm(g, axis=-1, keepdims=True)
+        safe = np.where(mag > 1e-6, mag, 1.0)
+        unit = g / safe
+        n = (1 << self.bits) - 1
+        idx = np.clip(((unit + 1.0) * 0.5 * n).round().astype(np.intp), 0, n)
+        return idx[..., 0], idx[..., 1], idx[..., 2]
+
+    def shade(self, gradients: np.ndarray) -> np.ndarray:
+        """Luminance per voxel from the gradient field.
+
+        Voxels with (near-)zero gradients — interiors of homogeneous
+        regions — get pure ambient light, as in VolPack.
+        """
+        ix, iy, iz = self.quantize(gradients)
+        lum = self.table[ix, iy, iz]
+        flat = np.linalg.norm(gradients, axis=-1) <= 1e-6
+        lum = np.where(flat, self.params.ambient, lum)
+        return np.clip(lum, 0.0, 1.0).astype(np.float32)
+
+
+def shade_volume(
+    raw: np.ndarray,
+    tf: TransferFunction,
+    light: tuple[float, float, float] = (1.0, -1.0, 1.0),
+    params: PhongParameters | None = None,
+) -> ClassifiedVolume:
+    """Classify ``raw`` with Phong-shaded colors instead of raw luminance.
+
+    Opacity comes from the transfer function as usual; color is the
+    Phong table lookup modulated by the transfer function's luminance
+    ramp (so tissue brightness still reflects intensity).
+    """
+    raw = np.asarray(raw)
+    opacity, base_color = tf.classify(raw)
+    table = NormalTable(light=light, params=params)
+    lum = table.shade(central_gradients(raw))
+    color = np.where(opacity > 0, (0.3 + 0.7 * lum) * base_color, 0.0)
+    return ClassifiedVolume(raw=raw, opacity=opacity, color=color.astype(np.float32))

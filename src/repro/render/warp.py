@@ -1,0 +1,166 @@
+"""The 2-D warp phase: intermediate (sheared) image -> final image.
+
+The warp is the residual affine transform of the factorization, applied
+by inverse mapping with bilinear interpolation: each final-image pixel
+samples four intermediate-image pixels.  The unit of work is one final
+image scanline segment; the old parallel algorithm tiles the final image
+(``warp_tile``), the new one restricts each processor to the final
+pixels whose samples come from its own intermediate-image partition
+(``line_owner``/``pid``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..transforms.factorization import ShearWarpFactorization
+from .image import FinalImage, IntermediateImage
+from .instrument import Region, TraceSink, WorkCounters
+
+__all__ = ["warp_scanline", "warp_tile", "warp_frame", "final_pixel_source_lines"]
+
+
+def _inverse_coeffs(fact: ShearWarpFactorization) -> tuple[np.ndarray, np.ndarray]:
+    a_inv = np.linalg.inv(fact.warp[:2, :2])
+    b = fact.warp[:2, 2]
+    return a_inv, b
+
+
+def warp_scanline(
+    final: FinalImage,
+    y: int,
+    img: IntermediateImage,
+    fact: ShearWarpFactorization,
+    x_lo: int = 0,
+    x_hi: int | None = None,
+    line_owner: np.ndarray | None = None,
+    pid: int | None = None,
+    counters: WorkCounters | None = None,
+    trace: TraceSink | None = None,
+) -> int:
+    """Warp final-image row ``y`` (columns ``[x_lo, x_hi)``).
+
+    When ``line_owner``/``pid`` are given (new algorithm), only the
+    pixels whose *source scanline pair* is owned by processor ``pid``
+    are written — this is how write-sharing on the final image is
+    eliminated without synchronization.  Returns the number of final
+    pixels written.
+    """
+    if x_hi is None:
+        x_hi = final.nx
+    if x_hi <= x_lo:
+        return 0
+    a_inv, b = _inverse_coeffs(fact)
+    xs = np.arange(x_lo, x_hi, dtype=np.float64)
+    dx = xs - b[0]
+    dy = float(y) - b[1]
+    u = a_inv[0, 0] * dx + a_inv[0, 1] * dy
+    v = a_inv[1, 0] * dx + a_inv[1, 1] * dy
+
+    n_v, n_u = img.shape
+    valid = (u >= 0.0) & (u <= n_u - 1) & (v >= 0.0) & (v <= n_v - 1)
+    if counters is not None:
+        counters.loop_iters += 1
+    if line_owner is not None:
+        v0_all = np.clip(np.floor(v).astype(np.intp), 0, n_v - 1)
+        owned = np.zeros_like(valid)
+        owned[valid] = line_owner[v0_all[valid]] == pid
+        valid &= owned
+    if not np.any(valid):
+        return 0
+
+    uu = u[valid]
+    vv = v[valid]
+    u0 = np.floor(uu).astype(np.intp)
+    v0 = np.floor(vv).astype(np.intp)
+    fu = (uu - u0).astype(np.float32)
+    fv = (vv - v0).astype(np.float32)
+    u1 = np.minimum(u0 + 1, n_u - 1)
+    v1 = np.minimum(v0 + 1, n_v - 1)
+
+    c = img.color
+    a = img.opacity
+    w00 = (1 - fu) * (1 - fv)
+    w10 = fu * (1 - fv)
+    w01 = (1 - fu) * fv
+    w11 = fu * fv
+    col = w00 * c[v0, u0] + w10 * c[v0, u1] + w01 * c[v1, u0] + w11 * c[v1, u1]
+    alp = w00 * a[v0, u0] + w10 * a[v0, u1] + w01 * a[v1, u0] + w11 * a[v1, u1]
+
+    xi = np.nonzero(valid)[0] + x_lo
+    final.color[y, xi] = col
+    final.alpha[y, xi] = alp
+    n = len(xi)
+    if counters is not None:
+        counters.warp_pixels += n
+
+    if trace is not None:
+        # Reads group into constant-v0 segments (v varies slowly along x).
+        order = np.argsort(v0, kind="stable")
+        v0s = v0[order]
+        u0s = u0[order]
+        seg_breaks = np.nonzero(np.diff(v0s))[0] + 1
+        starts = np.concatenate(([0], seg_breaks))
+        ends = np.concatenate((seg_breaks, [len(v0s)]))
+        for s, e in zip(starts, ends):
+            row = int(v0s[s])
+            lo = int(u0s[s:e].min())
+            hi = int(u0s[s:e].max()) + 2
+            hi = min(hi, n_u)
+            for r in (row, min(row + 1, n_v - 1)):
+                start, nbytes = img.pixel_byte_range(r, lo, hi)
+                trace.access(Region.INTERMEDIATE, start, nbytes)
+        start, nbytes = final.pixel_byte_range(y, int(xi[0]), int(xi[-1]) + 1)
+        trace.access(Region.FINAL, start, nbytes, write=True)
+    return n
+
+
+def warp_tile(
+    final: FinalImage,
+    y0: int,
+    y1: int,
+    x0: int,
+    x1: int,
+    img: IntermediateImage,
+    fact: ShearWarpFactorization,
+    counters: WorkCounters | None = None,
+    trace: TraceSink | None = None,
+) -> int:
+    """Warp a rectangular tile of the final image (old algorithm's task)."""
+    n = 0
+    for y in range(y0, min(y1, final.ny)):
+        n += warp_scanline(final, y, img, fact, x0, min(x1, final.nx),
+                           counters=counters, trace=trace)
+    return n
+
+
+def warp_frame(
+    final: FinalImage,
+    img: IntermediateImage,
+    fact: ShearWarpFactorization,
+    counters: WorkCounters | None = None,
+    trace: TraceSink | None = None,
+) -> FinalImage:
+    """Serially warp the whole final image."""
+    for y in range(final.ny):
+        warp_scanline(final, y, img, fact, counters=counters, trace=trace)
+    return final
+
+
+def final_pixel_source_lines(
+    final_shape: tuple[int, int], fact: ShearWarpFactorization
+) -> np.ndarray:
+    """For each final row ``y``, the (min, max) intermediate scanline sampled.
+
+    Used by the new algorithm to find, cheaply, which final rows a
+    processor's intermediate partition can contribute to.
+    """
+    ny, nx = final_shape
+    a_inv, b = _inverse_coeffs(fact)
+    corners_x = np.array([0.0, nx - 1.0])
+    out = np.empty((ny, 2), dtype=np.int64)
+    for y in range(ny):
+        v = a_inv[1, 0] * (corners_x - b[0]) + a_inv[1, 1] * (y - b[1])
+        out[y, 0] = int(np.floor(v.min()))
+        out[y, 1] = int(np.floor(v.max())) + 1
+    return out

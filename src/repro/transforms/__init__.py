@@ -1,0 +1,29 @@
+"""View matrices and the shear-warp factorization."""
+
+from .factorization import PERMUTATIONS, ShearWarpFactorization, factorize
+from .matrices import (
+    apply_affine,
+    apply_direction,
+    identity,
+    rotate_x,
+    rotate_y,
+    rotate_z,
+    scale,
+    translate,
+    view_matrix,
+)
+
+__all__ = [
+    "PERMUTATIONS",
+    "ShearWarpFactorization",
+    "factorize",
+    "apply_affine",
+    "apply_direction",
+    "identity",
+    "rotate_x",
+    "rotate_y",
+    "rotate_z",
+    "scale",
+    "translate",
+    "view_matrix",
+]

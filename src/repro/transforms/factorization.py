@@ -1,0 +1,237 @@
+"""Shear-warp factorization of a parallel-projection viewing transform.
+
+Following Lacroute's factorization, the object-to-view matrix is
+decomposed as::
+
+    M_view = M_warp2D . M_shear . P
+
+where ``P`` permutes the object axes so that the *principal viewing
+axis* (the object axis most nearly parallel to the view direction)
+becomes the slice axis ``k``; ``M_shear`` shears each volume slice so
+that all viewing rays become perpendicular to the slices (and
+translates so the sheared footprint is non-negative); and ``M_warp2D``
+is the residual 2-D affine warp that takes the *intermediate
+(composited) image* to the final image.
+
+Key guarantees (tested):
+
+* the shear coefficients satisfy ``|s_i|, |s_j| <= 1`` because ``k`` is
+  the principal axis, so a voxel scanline touches at most two
+  intermediate-image scanlines;
+* the final-image position of a sheared-space point is independent of
+  its slice index ``k`` (rays collapse to points), which is what makes
+  the 2-D warp well defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .matrices import apply_direction
+
+__all__ = ["ShearWarpFactorization", "factorize", "PERMUTATIONS"]
+
+#: For each principal object axis c, the object-axis indices that play the
+#: roles of (i, j, k) in permuted "standard object space".  Cyclic
+#: permutations keep the coordinate system right-handed.
+PERMUTATIONS: dict[int, tuple[int, int, int]] = {
+    0: (1, 2, 0),  # principal x: (i, j, k) = (y, z, x)
+    1: (2, 0, 1),  # principal y: (i, j, k) = (z, x, y)
+    2: (0, 1, 2),  # principal z: (i, j, k) = (x, y, z)
+}
+
+
+@dataclass(frozen=True)
+class ShearWarpFactorization:
+    """The result of factorizing a viewing matrix for a given volume.
+
+    Attributes
+    ----------
+    view:
+        The original 4x4 object-to-view matrix.
+    vol_shape:
+        Volume extents ``(nx, ny, nz)`` in object space.
+    axis:
+        Principal object axis (0=x, 1=y, 2=z).
+    perm:
+        Object-axis indices assigned to the permuted axes ``(i, j, k)``.
+    shape_ijk:
+        Volume extents in permuted order ``(ni, nj, nk)``.
+    shear_i, shear_j:
+        Shear coefficients; sheared coords are ``u = i - s_i*k + t_i``.
+    trans_i, trans_j:
+        Translations making sheared coordinates non-negative.
+    k_front_to_back:
+        Slice indices in front-to-back order (nearest the viewer first).
+    intermediate_shape:
+        ``(n_v, n_u)`` — rows are intermediate-image *scanlines* (the
+        unit of parallel partitioning in the paper).
+    warp:
+        3x3 homogeneous 2-D affine mapping ``(u, v, 1)`` to final-image
+        ``(x, y)`` with the final bounding box anchored at the origin.
+    final_shape:
+        ``(ny, nx)`` of the final image.
+    """
+
+    view: np.ndarray
+    vol_shape: tuple[int, int, int]
+    axis: int
+    perm: tuple[int, int, int]
+    shape_ijk: tuple[int, int, int]
+    shear_i: float
+    shear_j: float
+    trans_i: float
+    trans_j: float
+    k_front_to_back: np.ndarray
+    intermediate_shape: tuple[int, int]
+    warp: np.ndarray
+    final_shape: tuple[int, int]
+    _offsets: np.ndarray = field(repr=False, default=None)
+
+    # -- sheared-space geometry -------------------------------------------
+
+    def slice_offsets(self, k: int | np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(u_off, v_off)`` for slice(s) ``k``.
+
+        Voxel ``(i, j)`` of slice ``k`` lands at intermediate-image
+        coordinates ``(i + u_off, j + v_off)``; both offsets are
+        non-negative and fractional in general.
+        """
+        k = np.asarray(k, dtype=np.float64)
+        return self.trans_i - self.shear_i * k, self.trans_j - self.shear_j * k
+
+    def permute_point(self, ijk: np.ndarray) -> np.ndarray:
+        """Map permuted-space points ``(i, j, k)`` back to object space."""
+        ijk = np.atleast_2d(np.asarray(ijk, dtype=np.float64))
+        out = np.empty_like(ijk)
+        out[:, self.perm[0]] = ijk[:, 0]
+        out[:, self.perm[1]] = ijk[:, 1]
+        out[:, self.perm[2]] = ijk[:, 2]
+        return out
+
+    def project_sheared(self, uvk: np.ndarray) -> np.ndarray:
+        """Project sheared-space points ``(u, v, k)`` to final-image (x, y).
+
+        Used only for verification: the result must not depend on ``k``.
+        """
+        uvk = np.atleast_2d(np.asarray(uvk, dtype=np.float64))
+        u, v, k = uvk[:, 0], uvk[:, 1], uvk[:, 2]
+        u_off, v_off = self.slice_offsets(k)
+        ijk = np.stack([u - u_off, v - v_off, k], axis=1)
+        obj = self.permute_point(ijk)
+        view = obj @ self.view[:3, :3].T + self.view[:3, 3]
+        xy = view[:, :2] + self._final_origin
+        return xy
+
+    @property
+    def _final_origin(self) -> np.ndarray:
+        return self.warp[:2, 2] - self._warp_linear_offset
+
+    @property
+    def _warp_linear_offset(self) -> np.ndarray:
+        # Final (x, y) of intermediate (0, 0) under the *unshifted* warp.
+        ijk = self.permute_point([[-self.trans_i, -self.trans_j, 0.0]])[0]
+        return ijk @ self.view[:3, :3].T[:, :2] + self.view[:2, 3]
+
+    def warp_points(self, uv: np.ndarray) -> np.ndarray:
+        """Apply the 2-D warp to ``(N, 2)`` intermediate-image coords."""
+        uv = np.atleast_2d(np.asarray(uv, dtype=np.float64))
+        return uv @ self.warp[:2, :2].T + self.warp[:2, 2]
+
+    def warp_inverse_points(self, xy: np.ndarray) -> np.ndarray:
+        """Map final-image coords back to intermediate-image coords."""
+        xy = np.atleast_2d(np.asarray(xy, dtype=np.float64))
+        inv = np.linalg.inv(self.warp[:2, :2])
+        return (xy - self.warp[:2, 2]) @ inv.T
+
+
+def factorize(view: np.ndarray, vol_shape: tuple[int, int, int]) -> ShearWarpFactorization:
+    """Factorize ``view`` (4x4 object-to-view) for a volume of ``vol_shape``.
+
+    Parameters
+    ----------
+    view:
+        Object-to-view matrix; the viewer looks down view-space ``+z``
+        and the final image is the view-space ``(x, y)`` plane.
+    vol_shape:
+        ``(nx, ny, nz)`` voxel extents.
+
+    Raises
+    ------
+    ValueError
+        If the viewing direction is degenerate (zero direction vector).
+    """
+    view = np.asarray(view, dtype=np.float64)
+    if view.shape != (4, 4):
+        raise ValueError(f"view must be 4x4, got {view.shape}")
+    inv = np.linalg.inv(view)
+    d_obj = apply_direction(inv, (0.0, 0.0, 1.0))
+    norm = np.linalg.norm(d_obj)
+    if norm < 1e-12:
+        raise ValueError("degenerate viewing direction")
+    d_obj = d_obj / norm
+
+    axis = int(np.argmax(np.abs(d_obj)))
+    perm = PERMUTATIONS[axis]
+    d = d_obj[list(perm)]
+    ni, nj, nk = (vol_shape[perm[0]], vol_shape[perm[1]], vol_shape[perm[2]])
+
+    shear_i = float(d[0] / d[2])
+    shear_j = float(d[1] / d[2])
+    trans_i = max(0.0, shear_i * (nk - 1))
+    trans_j = max(0.0, shear_j * (nk - 1))
+
+    if d[2] > 0:
+        k_order = np.arange(nk)
+    else:
+        k_order = np.arange(nk - 1, -1, -1)
+
+    n_u = int(np.ceil((ni - 1) + abs(shear_i) * (nk - 1))) + 2
+    n_v = int(np.ceil((nj - 1) + abs(shear_j) * (nk - 1))) + 2
+    intermediate_shape = (n_v, n_u)
+
+    # Residual 2-D warp: evaluate the sheared->final map at slice k = 0.
+    def _proj(u: float, v: float) -> np.ndarray:
+        ijk = np.zeros(3)
+        ijk[0], ijk[1], ijk[2] = u - trans_i, v - trans_j, 0.0
+        obj = np.zeros(3)
+        obj[perm[0]], obj[perm[1]], obj[perm[2]] = ijk
+        p = view[:3, :3] @ obj + view[:3, 3]
+        return p[:2]
+
+    p00 = _proj(0.0, 0.0)
+    p10 = _proj(1.0, 0.0)
+    p01 = _proj(0.0, 1.0)
+    warp = np.eye(3)
+    warp[:2, 0] = p10 - p00
+    warp[:2, 1] = p01 - p00
+    warp[:2, 2] = p00
+
+    # Anchor the final image bounding box at the origin.
+    corners = np.array(
+        [[0, 0], [n_u - 1, 0], [0, n_v - 1], [n_u - 1, n_v - 1]], dtype=np.float64
+    )
+    mapped = corners @ warp[:2, :2].T + warp[:2, 2]
+    lo = mapped.min(axis=0)
+    hi = mapped.max(axis=0)
+    warp = warp.copy()
+    warp[:2, 2] -= lo
+    final_shape = (int(np.ceil(hi[1] - lo[1])) + 2, int(np.ceil(hi[0] - lo[0])) + 2)
+
+    return ShearWarpFactorization(
+        view=view,
+        vol_shape=tuple(vol_shape),
+        axis=axis,
+        perm=perm,
+        shape_ijk=(ni, nj, nk),
+        shear_i=shear_i,
+        shear_j=shear_j,
+        trans_i=trans_i,
+        trans_j=trans_j,
+        k_front_to_back=k_order,
+        intermediate_shape=intermediate_shape,
+        warp=warp,
+        final_shape=final_shape,
+    )

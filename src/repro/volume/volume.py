@@ -1,0 +1,52 @@
+"""Classified volume container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .classify import TransferFunction
+
+__all__ = ["ClassifiedVolume"]
+
+
+@dataclass(frozen=True)
+class ClassifiedVolume:
+    """A volume after classification, ready for run-length encoding.
+
+    Attributes
+    ----------
+    raw:
+        Original ``uint8`` voxel values, indexed ``[x, y, z]``.
+    opacity, color:
+        Classified ``float32`` fields of the same shape; opacity is
+        exactly 0 for culled (transparent) voxels.
+    """
+
+    raw: np.ndarray
+    opacity: np.ndarray
+    color: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.raw.ndim != 3:
+            raise ValueError("volume must be 3-D")
+        if self.opacity.shape != self.raw.shape or self.color.shape != self.raw.shape:
+            raise ValueError("classified fields must match the raw shape")
+
+    @classmethod
+    def classify(cls, raw: np.ndarray, tf: TransferFunction) -> "ClassifiedVolume":
+        """Classify ``raw`` with transfer function ``tf``."""
+        raw = np.asarray(raw)
+        opacity, color = tf.classify(raw)
+        return cls(raw=raw, opacity=opacity, color=color)
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """Voxel extents ``(nx, ny, nz)``."""
+        return self.raw.shape
+
+    @property
+    def transparent_fraction(self) -> float:
+        """Fraction of voxels culled as transparent (paper: 0.70-0.95)."""
+        return float(np.mean(self.opacity == 0.0))

@@ -1,0 +1,13 @@
+"""Shared test configuration: a deterministic, deadline-free hypothesis
+profile (property tests drive real renders, whose duration varies with
+host load)."""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

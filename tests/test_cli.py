@@ -1,0 +1,42 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "mri512" in out
+        assert "Origin2000" in out or "origin2000" in out
+
+    def test_render_small(self, capsys, tmp_path):
+        out_file = tmp_path / "img.npz"
+        rc = main(["render", "--dataset", "mri128", "--scale", "0.12",
+                   "--out", str(out_file)])
+        assert rc == 0
+        with np.load(out_file) as data:
+            assert data["color"].ndim == 2
+            assert data["alpha"].max() <= 1.0 + 1e-5
+
+    def test_render_without_out(self, capsys):
+        assert main(["render", "--dataset", "mri128", "--scale", "0.12"]) == 0
+        assert "final image" in capsys.readouterr().out
+
+    def test_speedup_tiny(self, capsys):
+        rc = main(["speedup", "--dataset", "mri128", "--machine", "challenge",
+                   "--scale", "0.12", "--procs", "1,2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "old" in out and "new" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_rejects_unknown_machine(self):
+        with pytest.raises(SystemExit):
+            main(["speedup", "--machine", "cray"])

@@ -1,0 +1,228 @@
+"""Tests for the cache-coherence simulator and miss classification."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsim.address import AddressSpace
+from repro.memsim.coherence import CoherentSystem, MissStats
+from repro.memsim.machine import MachineConfig
+
+
+def tiny_machine(cache_bytes=256, line_bytes=16, assoc=2, centralized=False):
+    return MachineConfig(
+        name="tiny",
+        centralized=centralized,
+        cache_bytes=cache_bytes,
+        line_bytes=line_bytes,
+        assoc=assoc,
+        t_local=10.0,
+        t_remote2=30.0,
+        t_remote3=40.0,
+        t_upgrade=5.0,
+    )
+
+
+def make_system(n_procs=2, **kw):
+    addr = AddressSpace.layout({"data": 1 << 20}, 4096)
+    return CoherentSystem(n_procs, tiny_machine(**kw), addr)
+
+
+class TestBasicCaching:
+    def test_first_access_is_cold_miss(self):
+        sys_ = make_system()
+        sys_.access_range(0, 0, 16, write=False)
+        assert sys_.stats.misses[0]["cold"] == 1
+
+    def test_repeat_access_hits(self):
+        sys_ = make_system()
+        sys_.access_range(0, 0, 16, write=False)
+        sys_.access_range(0, 0, 16, write=False)
+        assert sys_.stats.proc_misses(0) == 1
+        assert sys_.stats.refs[0] == 8  # 2 x 4 words
+
+    def test_range_spans_lines(self):
+        sys_ = make_system()
+        sys_.access_range(0, 0, 64, write=False)  # 4 x 16B lines
+        assert sys_.stats.proc_misses(0) == 4
+
+    def test_capacity_eviction_causes_replacement_miss(self):
+        sys_ = make_system(cache_bytes=64, line_bytes=16, assoc=1)  # 4 lines
+        # Touch 2 lines aliasing to the same set (stride = n_sets * line).
+        stride = 4 * 16
+        sys_.access_range(0, 0, 4)
+        sys_.access_range(0, stride, 4)
+        sys_.access_range(0, 0, 4)  # evicted by the aliasing line
+        assert sys_.stats.misses[0]["replacement"] == 1
+
+    def test_lru_within_set(self):
+        sys_ = make_system(cache_bytes=64, line_bytes=16, assoc=2)  # 2 sets
+        stride = 2 * 16  # same set
+        sys_.access_range(0, 0, 4)
+        sys_.access_range(0, stride, 4)
+        sys_.access_range(0, 0, 4)  # hit, refresh LRU
+        sys_.access_range(0, 2 * stride, 4)  # evicts 'stride', not 0
+        sys_.access_range(0, 0, 4)
+        assert sys_.stats.misses[0]["replacement"] == 0
+
+
+class TestSharing:
+    def test_true_sharing_detected(self):
+        sys_ = make_system()
+        sys_.access_range(0, 0, 4, write=False)  # p0 reads word 0
+        sys_.access_range(1, 0, 4, write=True)  # p1 writes word 0
+        sys_.access_range(0, 0, 4, write=False)  # p0 re-reads -> true
+        assert sys_.stats.misses[0]["true"] == 1
+
+    def test_false_sharing_detected(self):
+        sys_ = make_system(line_bytes=16)
+        sys_.access_range(0, 0, 4, write=False)  # p0 reads word 0
+        sys_.access_range(1, 8, 4, write=True)  # p1 writes word 2 (same line)
+        sys_.access_range(0, 0, 4, write=False)  # p0 re-reads word 0 -> false
+        assert sys_.stats.misses[0]["false"] == 1
+        assert sys_.stats.misses[0]["true"] == 0
+
+    def test_write_span_union_across_partial_writes(self):
+        """Multiple partial writes by the owner all count for readers."""
+        sys_ = make_system(line_bytes=16)
+        sys_.access_range(0, 12, 4, write=False)  # p0 reads word 3
+        sys_.access_range(1, 12, 4, write=True)  # p1 writes word 3
+        sys_.access_range(1, 0, 4, write=True)  # then word 0 (stays owner)
+        sys_.access_range(0, 12, 4, write=False)  # p0 re-reads word 3
+        assert sys_.stats.misses[0]["true"] == 1
+
+    def test_invalidation_counted(self):
+        sys_ = make_system()
+        sys_.access_range(0, 0, 4, write=False)
+        sys_.access_range(1, 0, 4, write=True)
+        assert sys_.stats.invalidations == 1
+
+    def test_write_upgrade_on_shared_line(self):
+        sys_ = make_system()
+        sys_.access_range(0, 0, 4, write=False)
+        sys_.access_range(1, 0, 4, write=False)
+        sys_.access_range(0, 0, 4, write=True)  # hit, but needs upgrade
+        assert sys_.stats.upgrades[0] == 1
+
+    def test_read_only_sharing_has_no_sharing_misses(self):
+        sys_ = make_system()
+        for p in (0, 1):
+            for _ in range(3):
+                sys_.access_range(p, 0, 64, write=False)
+        assert sys_.stats.total_misses("true") == 0
+        assert sys_.stats.total_misses("false") == 0
+
+
+class TestLocality:
+    def test_centralized_all_local(self):
+        sys_ = make_system(centralized=True)
+        sys_.access_range(0, 0, 64)
+        sys_.access_range(1, 4096 * 3, 64)
+        for p in (0, 1):
+            assert sys_.stats.kinds[p]["remote2"] == 0
+            assert sys_.stats.kinds[p]["remote3"] == 0
+
+    def test_round_robin_page_homes(self):
+        sys_ = make_system(n_procs=4)
+        lines_per_page = 4096 // 16
+        assert sys_.home_of(0) == 0
+        assert sys_.home_of(lines_per_page) == 1
+        assert sys_.home_of(4 * lines_per_page) == 0
+
+    def test_remote_clean_miss_is_two_hop(self):
+        sys_ = make_system(n_procs=2)
+        # Page 0 homed at proc 0; proc 1's miss is remote2.
+        base = sys_.addr.bases["data"]
+        # base is within some page; find a page homed at 0.
+        page0 = (base // 4096 + 1) * 4096
+        while sys_.home_of(page0 // 16) != 0:
+            page0 += 4096
+        sys_.access_range(1, page0, 4)
+        assert sys_.stats.kinds[1]["remote2"] == 1
+
+    def test_dirty_third_party_is_three_hop(self):
+        sys_ = make_system(n_procs=4)
+        # Find a page homed at proc 2; writer = proc 1, reader = proc 3.
+        a = 4096
+        while sys_.home_of(a // 16) != 2:
+            a += 4096
+        sys_.access_range(1, a, 4, write=True)
+        sys_.access_range(3, a, 4, write=False)
+        assert sys_.stats.kinds[3]["remote3"] == 1
+
+    def test_dirty_at_home_is_two_hop(self):
+        sys_ = make_system(n_procs=4)
+        a = 4096
+        while sys_.home_of(a // 16) != 2:
+            a += 4096
+        sys_.access_range(2, a, 4, write=True)  # home itself dirties it
+        sys_.access_range(3, a, 4, write=False)
+        assert sys_.stats.kinds[3]["remote2"] == 1
+
+
+class TestSnapshot:
+    def test_snapshot_restore_roundtrip(self):
+        sys_ = make_system()
+        sys_.access_range(0, 0, 64, write=True)
+        snap = sys_.snapshot()
+        sys_.access_range(1, 0, 64, write=True)  # invalidates p0
+        sys_.restore(snap)
+        sys_.new_scope()
+        sys_.access_range(0, 0, 64, write=True)  # should all hit again
+        assert sys_.stats.proc_misses(0) == 0
+
+
+class TestMissStats:
+    def test_miss_rate(self):
+        s = MissStats(2)
+        s.refs[0] = 100
+        s.misses[0]["cold"] = 5
+        assert s.miss_rate() == pytest.approx(0.05)
+        assert s.miss_rate(include_cold=False) == 0.0
+
+    def test_remote_fraction(self):
+        s = MissStats(1)
+        s.misses[0]["cold"] = 4
+        s.kinds[0]["local"] = 1
+        s.kinds[0]["remote2"] = 3
+        assert s.remote_fraction() == pytest.approx(0.75)
+
+    def test_empty_stats_zero_rates(self):
+        s = MissStats(2)
+        assert s.miss_rate() == 0.0
+        assert s.remote_fraction() == 0.0
+
+
+class TestAddressSpace:
+    def test_regions_do_not_overlap(self):
+        addr = AddressSpace.layout({"a": 10000, "b": 5, "c": 123456})
+        spans = []
+        for r, size in (("a", 10000), ("b", 5), ("c", 123456)):
+            base = addr.bases[r]
+            spans.append((base, base + size))
+        spans.sort()
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    def test_resolve(self):
+        addr = AddressSpace.layout({"a": 100})
+        flat, n = addr.resolve("a", 10, 20)
+        assert flat == addr.bases["a"] + 10 and n == 20
+
+    def test_region_of_inverse(self):
+        addr = AddressSpace.layout({"a": 100, "b": 100})
+        assert addr.region_of(addr.bases["a"]) == "a"
+        assert addr.region_of(addr.bases["b"] + 50) == "b"
+
+    def test_bases_staggered_across_sets(self):
+        """Region bases must not all alias to the same cache set."""
+        addr = AddressSpace.layout({f"r{i}": 10000 for i in range(4)})
+        offsets = {b % 4096 for b in addr.bases.values()}
+        assert len(offsets) == 4
+
+    @settings(max_examples=20, deadline=None)
+    @given(sizes=st.lists(st.integers(1, 100000), min_size=1, max_size=6))
+    def test_layout_property(self, sizes):
+        regions = {f"r{i}": s for i, s in enumerate(sizes)}
+        addr = AddressSpace.layout(regions)
+        assert addr.limit >= max(addr.bases[r] + regions[r] for r in regions)

@@ -1,0 +1,65 @@
+"""Tests for the stall/contention cost model."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.coherence import MissStats
+from repro.memsim.costmodel import memory_stalls
+from repro.memsim.machine import ccnuma_sim, challenge
+
+
+def stats_with(n_procs=2, **kinds_per_proc):
+    s = MissStats(n_procs)
+    for p in range(n_procs):
+        for kind, n in kinds_per_proc.items():
+            s.kinds[p][kind] = n
+    return s
+
+
+class TestMemoryStalls:
+    def test_zero_misses_zero_stalls(self):
+        s = MissStats(2)
+        model = memory_stalls(s, ccnuma_sim(), np.array([100.0, 100.0]))
+        assert np.all(model.stalls == 0)
+        assert model.contention == 1.0
+
+    def test_base_costs_per_kind(self):
+        m = ccnuma_sim()
+        s = stats_with(n_procs=1, local=2, remote2=3, remote3=1)
+        model = memory_stalls(s, m, np.array([1e9]))  # huge busy: no contention
+        expected = 2 * m.t_local + 3 * m.t_remote2 + 1 * m.t_remote3
+        assert model.base_stalls[0] == pytest.approx(expected)
+        assert model.stalls[0] == pytest.approx(expected, rel=0.01)
+
+    def test_upgrades_cost(self):
+        m = ccnuma_sim()
+        s = MissStats(1)
+        s.upgrades[0] = 5
+        model = memory_stalls(s, m, np.array([1e9]))
+        assert model.base_stalls[0] == pytest.approx(5 * m.t_upgrade)
+
+    def test_contention_rises_with_traffic(self):
+        m = ccnuma_sim()
+        light = stats_with(n_procs=2, remote2=10)
+        light.home_bytes = [640, 640]
+        heavy = stats_with(n_procs=2, remote2=10)
+        heavy.home_bytes = [64000, 0]  # hot home node
+        busy = np.array([1000.0, 1000.0])
+        f_light = memory_stalls(light, m, busy).contention
+        f_heavy = memory_stalls(heavy, m, busy).contention
+        assert f_heavy > f_light
+
+    def test_contention_capped(self):
+        m = ccnuma_sim()
+        s = stats_with(n_procs=2, remote2=2)
+        s.home_bytes = [10**9, 0]
+        model = memory_stalls(s, m, np.array([1.0, 1.0]))
+        assert model.contention <= 6.0
+
+    def test_centralized_uses_total_traffic(self):
+        m = challenge()
+        s = stats_with(n_procs=2, local=10)
+        s.home_bytes = [1280, 1280]
+        model = memory_stalls(s, m, np.array([100.0, 100.0]))
+        assert model.contention >= 1.0
+        assert model.utilization <= 1.0

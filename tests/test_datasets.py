@@ -1,0 +1,133 @@
+"""Tests for phantom generation and the resampling tool."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    PAPER_DATASETS,
+    ct_head,
+    downsample,
+    empty_volume,
+    load,
+    mri_brain,
+    proxy_shape,
+    random_blobs,
+    resample,
+    solid_sphere,
+    upsample,
+)
+from repro.volume import ClassifiedVolume, ct_transfer_function, mri_transfer_function
+
+
+class TestPhantoms:
+    def test_mri_brain_shape_and_dtype(self):
+        v = mri_brain((24, 24, 18))
+        assert v.shape == (24, 24, 18)
+        assert v.dtype == np.uint8
+
+    def test_mri_brain_deterministic_per_seed(self):
+        a = mri_brain((16, 16, 12), seed=5)
+        b = mri_brain((16, 16, 12), seed=5)
+        c = mri_brain((16, 16, 12), seed=6)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_mri_transparency_in_paper_range(self):
+        """Paper: 70-95% of voxels transparent after classification."""
+        v = mri_brain((48, 48, 32))
+        cv = ClassifiedVolume.classify(v, mri_transfer_function())
+        assert 0.60 <= cv.transparent_fraction <= 0.97
+
+    def test_ct_transparency_in_paper_range(self):
+        v = ct_head((48, 48, 48))
+        cv = ClassifiedVolume.classify(v, ct_transfer_function())
+        assert 0.60 <= cv.transparent_fraction <= 0.985
+
+    def test_mri_has_empty_border(self):
+        """Air surrounds the head: corner voxels are zero."""
+        v = mri_brain((32, 32, 24))
+        assert v[0, 0, 0] == 0 and v[-1, -1, -1] == 0
+
+    def test_solid_sphere_is_symmetric(self):
+        v = solid_sphere((20, 20, 20))
+        assert np.array_equal(v, v[::-1, :, :])
+        assert np.array_equal(v, v.transpose(1, 0, 2))
+
+    def test_empty_volume_is_empty(self):
+        assert empty_volume((8, 8, 8)).max() == 0
+
+    def test_random_blobs_density(self):
+        v = random_blobs((24, 24, 24), density=0.3)
+        frac = np.mean(v > 0)
+        assert 0.15 < frac < 0.45
+
+
+class TestResample:
+    def test_identity_when_shape_unchanged(self):
+        v = mri_brain((16, 16, 12))
+        assert np.array_equal(resample(v, v.shape), v)
+
+    def test_upsample_preserves_constant_volume(self):
+        v = np.full((8, 8, 8), 113, dtype=np.uint8)
+        up = upsample(v, 2.0)
+        assert up.shape == (16, 16, 16)
+        assert np.all(up == 113)
+
+    def test_endpoints_preserved(self):
+        v = np.zeros((8, 8, 8), dtype=np.uint8)
+        v[0, 0, 0] = 200
+        v[-1, -1, -1] = 100
+        up = resample(v, (15, 15, 15))
+        assert up[0, 0, 0] == 200
+        assert up[-1, -1, -1] == 100
+
+    def test_downsample_shape(self):
+        v = mri_brain((16, 16, 16))
+        assert downsample(v, 2.0).shape == (8, 8, 8)
+
+    def test_rejects_non_3d(self):
+        with pytest.raises(ValueError):
+            resample(np.zeros((4, 4)), (4, 4, 4))
+
+    def test_rejects_bad_factor(self):
+        v = mri_brain((8, 8, 8))
+        with pytest.raises(ValueError):
+            upsample(v, 0.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(4, 20))
+    def test_values_stay_in_range(self, n):
+        v = random_blobs((8, 8, 8), density=0.5)
+        out = resample(v, (n, n, n))
+        assert out.dtype == np.uint8
+        assert out.max() <= v.max() + 1  # interpolation cannot overshoot
+
+
+class TestRegistry:
+    def test_roster_matches_paper(self):
+        assert set(PAPER_DATASETS) == {
+            "mri128", "mri256", "mri512", "mri640", "ct128", "ct256", "ct512",
+        }
+        assert PAPER_DATASETS["mri512"].paper_shape == (511, 511, 333)
+        assert PAPER_DATASETS["mri256"].paper_shape == (256, 256, 167)
+
+    def test_proxy_shape_scales(self):
+        s = proxy_shape("mri512", scale=0.125)
+        assert s == (64, 64, 42)
+
+    def test_load_returns_proxy_volume(self):
+        v = load("mri128", scale=0.25)
+        assert v.shape == (32, 32, 32)
+        assert v.dtype == np.uint8
+
+    def test_load_unknown_raises(self):
+        with pytest.raises(KeyError):
+            load("pet999")
+
+    def test_relative_sizes_preserved(self):
+        """mri512 proxy stays bigger than mri256 proxy at the same scale."""
+        a = np.prod(proxy_shape("mri512", 0.1))
+        b = np.prod(proxy_shape("mri256", 0.1))
+        assert a > b

@@ -1,0 +1,81 @@
+"""Tests for op counters and trace sinks."""
+
+import pytest
+
+from repro.render.instrument import (
+    ListTraceSink,
+    Region,
+    SegmentedTraceSink,
+    TraceSink,
+    WorkCounters,
+)
+
+
+class TestWorkCounters:
+    def test_merge_accumulates_all_fields(self):
+        a = WorkCounters(resample_ops=1, warp_pixels=2)
+        b = WorkCounters(resample_ops=10, ray_steps=3)
+        a.merge(b)
+        assert a.resample_ops == 11
+        assert a.warp_pixels == 2
+        assert a.ray_steps == 3
+
+    def test_copy_is_independent(self):
+        a = WorkCounters(resample_ops=5)
+        b = a.copy()
+        b.resample_ops += 1
+        assert a.resample_ops == 5
+
+    def test_total(self):
+        assert WorkCounters(resample_ops=2, loop_iters=3).total() == 5
+
+
+class TestSinks:
+    def test_base_sink_is_noop(self):
+        s = TraceSink()
+        s.access(Region.FINAL, 0, 8)
+        s.set_key(3)  # must not raise
+
+    def test_list_sink_records(self):
+        s = ListTraceSink()
+        s.access(Region.VOXEL_DATA, 4, 8, write=False)
+        s.access(Region.FINAL, 0, 16, write=True)
+        assert s.total_bytes() == 24
+        recs = s.take()
+        assert recs == [(Region.VOXEL_DATA, 4, 8, False), (Region.FINAL, 0, 16, True)]
+        assert s.records == []
+
+    def test_list_sink_drops_empty(self):
+        s = ListTraceSink()
+        s.access(Region.FINAL, 0, 0)
+        assert s.records == []
+
+    def test_list_sink_segments_wrap_key_zero(self):
+        s = ListTraceSink()
+        s.access(Region.FINAL, 0, 8)
+        segs = s.take_segments()
+        assert len(segs) == 1 and segs[0][0] == 0
+
+    def test_segmented_sink_keys(self):
+        s = SegmentedTraceSink()
+        s.set_key(7)
+        s.access(Region.VOXEL_DATA, 0, 8)
+        s.set_key(8)
+        s.access(Region.VOXEL_DATA, 8, 8)
+        s.access(Region.INTERMEDIATE, 0, 4)
+        segs = s.take_segments()
+        assert [k for k, _ in segs] == [7, 8]
+        assert len(segs[1][1]) == 2
+
+    def test_segmented_sink_skips_empty_segments(self):
+        s = SegmentedTraceSink()
+        s.set_key(1)
+        s.set_key(2)
+        s.access(Region.FINAL, 0, 8)
+        segs = s.take_segments()
+        assert [k for k, _ in segs] == [2]
+
+    def test_segmented_sink_default_key(self):
+        s = SegmentedTraceSink()
+        s.access(Region.FINAL, 0, 8)
+        assert s.take_segments()[0][0] == 0

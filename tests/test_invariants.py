@@ -1,0 +1,100 @@
+"""Property-based tests of core rendering invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import random_blobs
+from repro.render import IntermediateImage, ShearWarpRenderer
+from repro.render.compositing import composite_image_scanline
+from repro.transforms import view_matrix
+from repro.volume import binary_transfer_function, mri_transfer_function
+
+
+def small_renderer(seed, density=0.4):
+    vol = random_blobs((10, 10, 10), density=density, seed=seed)
+    return ShearWarpRenderer(vol, mri_transfer_function())
+
+
+class TestCompositingInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 500), rx=st.floats(-50, 50), ry=st.floats(-50, 50))
+    def test_scanline_order_independence(self, seed, rx, ry):
+        """Image scanlines are independent: compositing order across
+        scanlines must not change the result (the property that makes
+        the scanline partitioning race-free)."""
+        r = small_renderer(seed)
+        view = view_matrix(rx, ry, 0, r.shape)
+        fact = r.factorize_view(view)
+        rle = r.rle_for(fact)
+
+        img_fwd = IntermediateImage(fact.intermediate_shape)
+        for v in range(img_fwd.n_v):
+            composite_image_scanline(img_fwd, v, rle, fact)
+        img_rev = IntermediateImage(fact.intermediate_shape)
+        for v in reversed(range(img_rev.n_v)):
+            composite_image_scanline(img_rev, v, rle, fact)
+        assert np.array_equal(img_fwd.opacity, img_rev.opacity)
+        assert np.array_equal(img_fwd.color, img_rev.color)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_opacity_monotone_and_bounded(self, seed):
+        """Front-to-back over-compositing only increases opacity, never
+        past 1."""
+        r = small_renderer(seed, density=0.7)
+        res = r.render(view_matrix(20, 30, 0, r.shape))
+        assert res.intermediate.opacity.min() >= 0.0
+        assert res.intermediate.opacity.max() <= 1.0 + 1e-6
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 500), thr=st.floats(0.3, 0.99))
+    def test_early_termination_threshold_never_changes_low_alpha_pixels(self, seed, thr):
+        """Pixels that stay below the opaque threshold are bit-identical
+        with and without a stricter threshold."""
+        r = small_renderer(seed, density=0.8)
+        view = view_matrix(10, 20, 0, r.shape)
+        fact = r.factorize_view(view)
+        rle = r.rle_for(fact)
+        strict = IntermediateImage(fact.intermediate_shape, opaque_threshold=thr)
+        lax = IntermediateImage(fact.intermediate_shape, opaque_threshold=2.0)
+        for v in range(strict.n_v):
+            composite_image_scanline(strict, v, rle, fact)
+            composite_image_scanline(lax, v, rle, fact)
+        below = lax.opacity < thr
+        assert np.allclose(strict.opacity[below], lax.opacity[below], atol=1e-6)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 500), value=st.integers(120, 255))
+    def test_uniform_volume_uniform_interior(self, seed, value):
+        """A constant-value box composites to a flat interior color."""
+        vol = np.zeros((10, 10, 10), dtype=np.uint8)
+        vol[2:8, 2:8, 2:8] = value
+        r = ShearWarpRenderer(vol, binary_transfer_function(100, opacity=0.9))
+        res = r.render(np.eye(4))
+        interior = res.intermediate.opacity[5, 3:7]
+        assert np.allclose(interior, interior[0], atol=1e-6)
+
+
+class TestWarpInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 500), rz=st.floats(-40, 40))
+    def test_in_plane_rotation_preserves_mass(self, seed, rz):
+        """The 2-D warp resamples; total projected alpha is conserved
+        up to interpolation loss."""
+        r = small_renderer(seed, density=0.6)
+        base = r.render(view_matrix(0, 0, 0, r.shape))
+        rot = r.render(view_matrix(0, 0, rz, r.shape))
+        m0 = base.final.alpha.sum()
+        m1 = rot.final.alpha.sum()
+        if m0 > 1.0:
+            assert m1 == pytest.approx(m0, rel=0.2)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_final_alpha_bounded(self, seed):
+        r = small_renderer(seed, density=0.8)
+        res = r.render(view_matrix(33, -21, 14, r.shape))
+        assert res.final.alpha.max() <= 1.0 + 1e-5
+        assert res.final.alpha.min() >= -1e-6

@@ -1,0 +1,45 @@
+"""Tests for the real multiprocessing shared-memory backend."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import mri_brain, solid_sphere
+from repro.parallel.mp_backend import render_parallel_mp
+from repro.render import ShearWarpRenderer
+from repro.volume import binary_transfer_function, mri_transfer_function
+
+
+@pytest.fixture(scope="module")
+def renderer():
+    return ShearWarpRenderer(mri_brain((20, 20, 16)), mri_transfer_function())
+
+
+class TestMPBackend:
+    def test_matches_serial_two_workers(self, renderer):
+        view = renderer.view_from_angles(20, 30, 0)
+        ref = renderer.render(view)
+        res = render_parallel_mp(renderer, view, n_procs=2)
+        assert np.allclose(res.final.color, ref.final.color, atol=1e-5)
+        assert np.allclose(res.final.alpha, ref.final.alpha, atol=1e-5)
+
+    def test_matches_serial_four_workers(self, renderer):
+        view = renderer.view_from_angles(-15, 40, 10)
+        ref = renderer.render(view)
+        res = render_parallel_mp(renderer, view, n_procs=4)
+        assert np.allclose(res.final.color, ref.final.color, atol=1e-5)
+
+    def test_single_worker(self, renderer):
+        view = renderer.view_from_angles(0, 10, 0)
+        ref = renderer.render(view)
+        res = render_parallel_mp(renderer, view, n_procs=1)
+        assert np.allclose(res.final.color, ref.final.color, atol=1e-5)
+
+    def test_sphere_axis_view(self):
+        r = ShearWarpRenderer(solid_sphere((16, 16, 16)), binary_transfer_function(128))
+        res = render_parallel_mp(r, np.eye(4), n_procs=2)
+        cy, cx = res.final.ny // 2, res.final.nx // 2
+        assert res.final.alpha[cy, cx] > 0.9
+
+    def test_rejects_zero_workers(self, renderer):
+        with pytest.raises(ValueError):
+            render_parallel_mp(renderer, np.eye(4), n_procs=0)

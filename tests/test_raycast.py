@@ -1,0 +1,109 @@
+"""Tests for the ray-casting baseline and its octree."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import mri_brain, solid_sphere
+from repro.render import WorkCounters
+from repro.render.octree import MinMaxOctree
+from repro.render.raycast import (
+    RayCastRenderer,
+    render_raycast,
+    render_raycast_vectorized,
+)
+from repro.render.serial import ShearWarpRenderer
+from repro.transforms import view_matrix
+from repro.volume import binary_transfer_function, mri_transfer_function
+
+
+@pytest.fixture(scope="module")
+def sphere_rc():
+    return RayCastRenderer.create(solid_sphere((16, 16, 16)), binary_transfer_function(128))
+
+
+class TestOctree:
+    def test_pyramid_shrinks_to_single_cell(self):
+        oct_ = MinMaxOctree.build(np.zeros((8, 8, 8), np.float32))
+        assert oct_.levels_max[-1].shape == (1, 1, 1)
+
+    def test_max_pooling_is_conservative(self):
+        op = np.zeros((8, 8, 8), np.float32)
+        op[5, 3, 6] = 0.7
+        oct_ = MinMaxOctree.build(op)
+        # Every ancestor cell of the hot voxel must be non-empty.
+        for level in range(oct_.n_levels):
+            assert oct_.cell_max(level, (5, 3, 6)) == pytest.approx(0.7)
+
+    def test_empty_level_finds_coarsest_empty_cell(self):
+        op = np.zeros((16, 16, 16), np.float32)
+        op[15, 15, 15] = 1.0
+        oct_ = MinMaxOctree.build(op)
+        # Point far from the hot voxel is inside a large empty cell.
+        assert oct_.empty_level((0.5, 0.5, 0.5)) >= 2
+        # The hot voxel itself is never empty.
+        assert oct_.empty_level((15.0, 15.0, 15.0)) == -1
+
+    def test_skip_exit_advances(self):
+        op = np.zeros((16, 16, 16), np.float32)
+        oct_ = MinMaxOctree.build(op)
+        d = np.array([0.0, 0.0, 1.0])
+        o = np.array([1.0, 1.0, 0.0])
+        t2 = oct_.skip_exit_t(o, d, 0.0, level=2)
+        assert t2 > 3.9  # exits the 4-voxel cell
+
+    def test_rejects_non_3d(self):
+        with pytest.raises(ValueError):
+            MinMaxOctree.build(np.zeros((4, 4), np.float32))
+
+
+class TestRayCast:
+    def test_sphere_renders_disk(self, sphere_rc):
+        final = render_raycast(sphere_rc, np.eye(4))
+        cy, cx = final.ny // 2, final.nx // 2
+        assert final.alpha[cy, cx] > 0.9
+        assert final.alpha[0, 0] == 0.0
+
+    def test_counters_populated(self, sphere_rc):
+        c = WorkCounters()
+        render_raycast(sphere_rc, np.eye(4), counters=c)
+        assert c.ray_steps > 0
+        assert c.octree_visits > 0
+        assert c.loop_iters > 0
+
+    def test_octree_reduces_samples(self):
+        """Space leaping: a mostly-empty volume needs far fewer samples."""
+        rc = RayCastRenderer.create(solid_sphere((16, 16, 16), radius=0.25),
+                                    binary_transfer_function(128))
+        c = WorkCounters()
+        render_raycast(rc, np.eye(4), counters=c)
+        n_pixels = 18 * 18  # approximate image size
+        # Without leaping every ray would take ~16 samples.
+        assert c.ray_steps < n_pixels * 16 * 0.6
+
+    def test_vectorized_matches_per_ray(self, sphere_rc):
+        view = view_matrix(20, 30, 0, (16, 16, 16))
+        a = render_raycast(sphere_rc, view)
+        b = render_raycast_vectorized(sphere_rc, view)
+        assert a.shape == b.shape
+        # The octree path skips only empty space, so images agree closely.
+        assert np.allclose(a.alpha, b.alpha, atol=0.02)
+        assert np.allclose(a.color, b.color, atol=0.02)
+
+    def test_early_termination(self):
+        raw = np.zeros((12, 12, 12), np.uint8)
+        raw[:, :, :] = 255  # fully opaque volume
+        rc = RayCastRenderer.create(raw, binary_transfer_function(128, opacity=1.0))
+        c = WorkCounters()
+        render_raycast(rc, np.eye(4), counters=c)
+        # Rays terminate after ~1 sample instead of 12.
+        assert c.ray_steps < 14 * 14 * 4
+
+    def test_comparable_to_shear_warp(self):
+        """Both renderers draw the same brain from the same view."""
+        raw = mri_brain((20, 20, 16))
+        tf = mri_transfer_function()
+        view = view_matrix(15, 25, 0, raw.shape)
+        sw = ShearWarpRenderer(raw, tf).render(view).final
+        rc = render_raycast_vectorized(RayCastRenderer.create(raw, tf), view)
+        # Similar total coverage (projected alpha mass within 25 %).
+        assert rc.alpha.sum() == pytest.approx(sw.alpha.sum(), rel=0.25)

@@ -1,0 +1,38 @@
+"""Tests for the markdown report assembler."""
+
+from pathlib import Path
+
+from repro.analysis.report import FIGURE_ORDER, collect_results, render_report
+
+
+class TestReport:
+    def test_collect_from_directory(self, tmp_path):
+        (tmp_path / "fig04_old_speedups.txt").write_text("TABLE\n")
+        results = collect_results(tmp_path)
+        assert results == {"fig04_old_speedups": "TABLE"}
+
+    def test_collect_missing_dir(self, tmp_path):
+        assert collect_results(tmp_path / "nope") == {}
+
+    def test_render_includes_tables_and_flags_missing(self, tmp_path):
+        (tmp_path / "fig04_old_speedups.txt").write_text("SPEEDUPS\n")
+        text = render_report(tmp_path)
+        assert "SPEEDUPS" in text
+        assert "*missing" in text  # other figures flagged
+
+    def test_render_includes_unknown_extras(self, tmp_path):
+        (tmp_path / "custom_experiment.txt").write_text("EXTRA\n")
+        text = render_report(tmp_path)
+        assert "custom_experiment" in text and "EXTRA" in text
+
+    def test_figure_order_covers_every_bench_module(self):
+        bench_dir = Path(__file__).resolve().parents[1] / "benchmarks"
+        modules = {p.stem for p in bench_dir.glob("fig*.py")}
+        modules |= {p.stem for p in bench_dir.glob("ablation_*.py")}
+        ordered = {name for name, _ in FIGURE_ORDER}
+        assert modules <= ordered
+
+    def test_default_dir_resolves_into_repo(self):
+        from repro.analysis.report import default_results_dir
+
+        assert default_results_dir().name == "results"

@@ -1,0 +1,154 @@
+"""Tests for view matrices and the shear-warp factorization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transforms import (
+    PERMUTATIONS,
+    apply_affine,
+    apply_direction,
+    factorize,
+    identity,
+    rotate_x,
+    rotate_y,
+    rotate_z,
+    translate,
+    view_matrix,
+)
+
+SHAPE = (24, 20, 16)
+
+
+class TestMatrices:
+    def test_identity_is_noop(self):
+        p = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(apply_affine(identity(), p), p)
+
+    def test_translate_moves_points(self):
+        m = translate(1, 2, 3)
+        assert np.allclose(apply_affine(m, [[0, 0, 0]]), [[1, 2, 3]])
+
+    def test_translate_does_not_move_directions(self):
+        m = translate(5, 6, 7)
+        assert np.allclose(apply_direction(m, (0, 0, 1)), (0, 0, 1))
+
+    def test_rotations_are_orthonormal(self):
+        for rot in (rotate_x(33), rotate_y(-71), rotate_z(190)):
+            r = rot[:3, :3]
+            assert np.allclose(r @ r.T, np.eye(3), atol=1e-12)
+            assert np.isclose(np.linalg.det(r), 1.0)
+
+    def test_rotate_z_quarter_turn(self):
+        m = rotate_z(90)
+        assert np.allclose(apply_affine(m, [[1, 0, 0]]), [[0, 1, 0]], atol=1e-12)
+
+    def test_view_matrix_centred_rotation_fixes_centre(self):
+        m = view_matrix(20, 30, 40, SHAPE)
+        c = [(n - 1) / 2 for n in SHAPE]
+        assert np.allclose(apply_affine(m, [c]), [c], atol=1e-9)
+
+    def test_view_matrix_without_shape_is_pure_rotation(self):
+        m = view_matrix(10, 20, 30)
+        assert np.allclose(m[:3, 3], 0.0)
+
+
+class TestFactorization:
+    def test_axis_aligned_view_has_zero_shear(self):
+        f = factorize(identity(), SHAPE)
+        assert f.axis == 2
+        assert f.shear_i == pytest.approx(0.0)
+        assert f.shear_j == pytest.approx(0.0)
+        assert f.intermediate_shape[0] >= SHAPE[1]
+        assert f.intermediate_shape[1] >= SHAPE[0]
+
+    def test_principal_axis_tracks_view_direction(self):
+        # Looking along object x: rotating so x maps to view z.
+        f = factorize(rotate_y(90), SHAPE)
+        assert f.axis == 0
+        f = factorize(rotate_x(90), SHAPE)
+        assert f.axis == 1
+
+    def test_rejects_bad_matrix_shape(self):
+        with pytest.raises(ValueError):
+            factorize(np.eye(3), SHAPE)
+
+    def test_slice_offsets_nonnegative(self):
+        f = factorize(view_matrix(25, 40, 10, SHAPE), SHAPE)
+        ks = np.arange(f.shape_ijk[2])
+        u_off, v_off = f.slice_offsets(ks)
+        assert np.all(u_off >= -1e-9)
+        assert np.all(v_off >= -1e-9)
+
+    def test_front_to_back_order_is_a_permutation_of_slices(self):
+        f = factorize(view_matrix(25, 40, 10, SHAPE), SHAPE)
+        assert sorted(f.k_front_to_back) == list(range(f.shape_ijk[2]))
+
+    def test_voxel_footprint_inside_intermediate_image(self):
+        f = factorize(view_matrix(33, -47, 12, SHAPE), SHAPE)
+        ni, nj, nk = f.shape_ijk
+        for k in (0, nk // 2, nk - 1):
+            u_off, v_off = f.slice_offsets(k)
+            assert u_off + ni - 1 <= f.intermediate_shape[1] - 1 + 1e-6
+            assert v_off + nj - 1 <= f.intermediate_shape[0] - 1 + 1e-6
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        rx=st.floats(-85, 85),
+        ry=st.floats(-85, 85),
+        rz=st.floats(-180, 180),
+    )
+    def test_shear_coefficients_bounded(self, rx, ry, rz):
+        """|s_i|, |s_j| <= 1 because k is the principal axis."""
+        f = factorize(view_matrix(rx, ry, rz, SHAPE), SHAPE)
+        assert abs(f.shear_i) <= 1.0 + 1e-9
+        assert abs(f.shear_j) <= 1.0 + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rx=st.floats(-80, 80),
+        ry=st.floats(-80, 80),
+        rz=st.floats(-170, 170),
+        u=st.floats(0, 10),
+        v=st.floats(0, 10),
+        k1=st.integers(1, 15),
+    )
+    def test_projection_independent_of_slice(self, rx, ry, rz, u, v, k1):
+        """A sheared-space point's final position must not depend on k."""
+        f = factorize(view_matrix(rx, ry, rz, SHAPE), SHAPE)
+        p0 = f.project_sheared([[u, v, 0.0]])
+        p1 = f.project_sheared([[u, v, float(k1)]])
+        assert np.allclose(p0, p1, atol=1e-8)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rx=st.floats(-80, 80),
+        ry=st.floats(-80, 80),
+        rz=st.floats(-170, 170),
+    )
+    def test_warp_matches_direct_projection(self, rx, ry, rz):
+        """warp(u, v) == project(sheared point) for points at slice 0."""
+        f = factorize(view_matrix(rx, ry, rz, SHAPE), SHAPE)
+        uv = np.array([[0.0, 0.0], [3.5, 7.25], [10.0, 2.0]])
+        uvk = np.hstack([uv, np.zeros((3, 1))])
+        assert np.allclose(f.warp_points(uv), f.project_sheared(uvk), atol=1e-8)
+
+    def test_warp_inverse_roundtrip(self):
+        f = factorize(view_matrix(18, 27, -36, SHAPE), SHAPE)
+        uv = np.array([[0.0, 0.0], [5.0, 9.0], [12.5, 3.25]])
+        assert np.allclose(f.warp_inverse_points(f.warp_points(uv)), uv, atol=1e-9)
+
+    def test_final_image_contains_warped_corners(self):
+        f = factorize(view_matrix(18, 27, -36, SHAPE), SHAPE)
+        n_v, n_u = f.intermediate_shape
+        corners = np.array([[0, 0], [n_u - 1, 0], [0, n_v - 1], [n_u - 1, n_v - 1]])
+        mapped = f.warp_points(corners)
+        assert np.all(mapped >= -1e-9)
+        assert np.all(mapped[:, 0] <= f.final_shape[1] - 1 + 1e-9)
+        assert np.all(mapped[:, 1] <= f.final_shape[0] - 1 + 1e-9)
+
+    def test_permutations_are_cyclic(self):
+        for axis, perm in PERMUTATIONS.items():
+            assert perm[2] == axis
+            assert sorted(perm) == [0, 1, 2]

@@ -1,0 +1,173 @@
+"""Tests for classification and run-length encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import mri_brain, random_blobs
+from repro.volume import (
+    OPACITY_EPSILON,
+    ClassifiedVolume,
+    RLEVolume,
+    TransferFunction,
+    binary_transfer_function,
+    encode,
+    encode_all_axes,
+    mri_transfer_function,
+)
+
+
+class TestTransferFunction:
+    def test_opacity_interpolates_knots(self):
+        tf = TransferFunction(opacity_points=((0, 0.0), (100, 0.0), (200, 1.0)))
+        assert tf.opacity(150) == pytest.approx(0.5)
+        assert tf.opacity(50) == pytest.approx(0.0)
+
+    def test_rejects_nonincreasing_knots(self):
+        with pytest.raises(ValueError):
+            TransferFunction(opacity_points=((0, 0.0), (0, 1.0)))
+
+    def test_rejects_out_of_range_opacity(self):
+        with pytest.raises(ValueError):
+            TransferFunction(opacity_points=((0, 0.0), (255, 1.5)))
+
+    def test_rejects_single_knot(self):
+        with pytest.raises(ValueError):
+            TransferFunction(opacity_points=((0, 0.0),))
+
+    def test_epsilon_cull_zeroes_low_opacity(self):
+        tf = TransferFunction(opacity_points=((0, 0.0), (255, OPACITY_EPSILON / 2)))
+        a, c = tf.classify(np.array([255], dtype=np.uint8))
+        assert a[0] == 0.0 and c[0] == 0.0
+
+    def test_classify_dtype_and_range(self):
+        tf = mri_transfer_function()
+        vals = np.arange(256, dtype=np.uint8)
+        a, c = tf.classify(vals)
+        assert a.dtype == np.float32 and c.dtype == np.float32
+        assert a.min() >= 0.0 and a.max() <= 1.0
+        assert c.min() >= 0.0 and c.max() <= 1.0
+
+    def test_classified_volume_shape_validation(self):
+        with pytest.raises(ValueError):
+            ClassifiedVolume(
+                raw=np.zeros((4, 4, 4), np.uint8),
+                opacity=np.zeros((4, 4, 3), np.float32),
+                color=np.zeros((4, 4, 4), np.float32),
+            )
+
+
+def _classified(shape=(12, 10, 8), seed=3, density=0.35):
+    raw = random_blobs(shape, density=density, seed=seed)
+    return ClassifiedVolume.classify(raw, binary_transfer_function(threshold=60))
+
+
+class TestRLE:
+    def test_roundtrip_dense_equals_classified(self):
+        """Decoding every scanline reconstructs the classified fields."""
+        cv = _classified()
+        for axis in (0, 1, 2):
+            rle = encode(cv, axis)
+            from repro.transforms.factorization import PERMUTATIONS
+
+            perm = PERMUTATIONS[axis]
+            order = (perm[2], perm[1], perm[0])
+            opac_ref = cv.opacity.transpose(order)
+            col_ref = cv.color.transpose(order)
+            for k in range(rle.nk):
+                o, c = rle.decode_slice(k)
+                assert np.array_equal(o, opac_ref[k])
+                assert np.array_equal(c, col_ref[k])
+
+    def test_run_lengths_sum_to_scanline_length(self):
+        cv = _classified()
+        rle = encode(cv, 2)
+        for k in range(rle.nk):
+            for j in range(rle.nj):
+                assert rle.scanline_runs(k, j).sum() == rle.ni
+
+    def test_runs_alternate_starting_transparent(self):
+        cv = _classified()
+        rle = encode(cv, 1)
+        for k in range(rle.nk):
+            for j in range(rle.nj):
+                dense, _ = rle.decode_scanline(k, j)
+                pos = 0
+                for idx, length in enumerate(rle.scanline_runs(k, j)):
+                    seg = dense[pos : pos + length]
+                    if idx % 2 == 0:
+                        assert np.all(seg == 0.0)
+                    else:
+                        assert np.all(seg > 0.0)
+                    pos += int(length)
+
+    def test_vox_count_matches_nonzero(self):
+        cv = _classified()
+        rle = encode(cv, 0)
+        assert rle.vox_count.sum() == np.count_nonzero(cv.opacity)
+
+    def test_nontransparent_runs_cover_exactly_nonzeros(self):
+        cv = _classified()
+        rle = encode(cv, 2)
+        for k in range(rle.nk):
+            for j in range(rle.nj):
+                dense, _ = rle.decode_scanline(k, j)
+                covered = np.zeros(rle.ni, dtype=bool)
+                for start, length in rle.nontransparent_runs(k, j):
+                    covered[start : start + length] = True
+                assert np.array_equal(covered, dense > 0)
+
+    def test_empty_volume_single_run(self):
+        cv = ClassifiedVolume.classify(
+            np.zeros((6, 5, 4), np.uint8), binary_transfer_function(128)
+        )
+        rle = encode(cv, 2)
+        assert rle.voxel_opacity.size == 0
+        assert np.all(rle.run_count == 1)
+        assert np.all(rle.run_lengths == rle.ni)
+
+    def test_full_volume_compresses_to_one_opaque_run(self):
+        raw = np.full((6, 5, 4), 255, np.uint8)
+        cv = ClassifiedVolume.classify(raw, binary_transfer_function(128))
+        rle = encode(cv, 2)
+        assert np.all(rle.run_count == 3)  # [0, ni, 0]
+        assert rle.voxel_opacity.size == raw.size
+
+    def test_compression_ratio_large_for_sparse_volume(self):
+        """Paper: RLE greatly compresses medical volumes."""
+        raw = mri_brain((40, 40, 28))
+        cv = ClassifiedVolume.classify(raw, mri_transfer_function())
+        rle = encode(cv, 2)
+        assert rle.compression_ratio > 1.5
+
+    def test_encode_all_axes_returns_three(self):
+        cv = _classified((8, 9, 10))
+        rles = encode_all_axes(cv)
+        assert set(rles) == {0, 1, 2}
+        # shape_ijk is the permuted shape; total voxels identical.
+        for axis, rle in rles.items():
+            assert np.prod(rle.shape_ijk) == 8 * 9 * 10
+            assert rle.voxel_opacity.size == np.count_nonzero(cv.opacity)
+
+    def test_invalid_axis_raises(self):
+        with pytest.raises(ValueError):
+            encode(_classified((4, 4, 4)), 3)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        density=st.floats(0.05, 0.9),
+        axis=st.integers(0, 2),
+    )
+    def test_roundtrip_property(self, seed, density, axis):
+        """RLE encode/decode is lossless for arbitrary volumes."""
+        cv = _classified((7, 6, 5), seed=seed, density=density)
+        rle = encode(cv, axis)
+        from repro.transforms.factorization import PERMUTATIONS
+
+        perm = PERMUTATIONS[axis]
+        order = (perm[2], perm[1], perm[0])
+        ref = cv.opacity.transpose(order)
+        got = np.stack([rle.decode_slice(k)[0] for k in range(rle.nk)])
+        assert np.array_equal(got, ref)
