@@ -1,0 +1,193 @@
+"""Compositing-kernel benchmark: scanline vs block vs fast, serial and MP.
+
+Unlike the ``fig*`` benchmarks (simulated 1997 machines), this measures
+*wall-clock* time on the current host — the perf trajectory of the real
+execution path.  Three serial configurations composite one frame:
+
+* ``scanline`` — the instrumented per-scanline reference kernel;
+* ``block``    — the vectorized block kernel over the whole frame;
+* ``fast``     — ``composite_frame_fast`` (the degenerate whole-frame
+  block call, kept separate to catch wiring regressions);
+
+then the shared-memory backend renders a short animation at 1-4 worker
+processes with both kernels, one-shot (fork + setup every frame) and
+through a persistent :class:`MPRenderPool`.  Results go to
+``benchmarks/results/BENCH_kernel.json``.
+
+Run:  python benchmarks/bench_kernel.py [--smoke] [--reps N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from common import RESULTS_DIR  # noqa: E402
+
+from repro.datasets import ct_head, mri_brain  # noqa: E402
+from repro.parallel.mp_backend import MPRenderPool, render_parallel_mp  # noqa: E402
+from repro.render import (  # noqa: E402
+    IntermediateImage,
+    ShearWarpRenderer,
+    composite_image_scanline,
+    composite_scanline_block,
+)
+from repro.render.fast import composite_frame_fast  # noqa: E402
+from repro.volume import ct_transfer_function, mri_transfer_function  # noqa: E402
+
+#: The default MRI proxy of the acceptance criterion: 64^3-class volume
+#: with the paper's 0.65 z-elongation (matches examples/multicore_speedup).
+MRI_SHAPE = (64, 64, 42)
+CT_SHAPE = (64, 64, 64)
+SMOKE_MRI_SHAPE = (28, 28, 20)
+SMOKE_CT_SHAPE = (24, 24, 24)
+
+
+def _best_of(fn, reps: int) -> float:
+    """Best wall-clock seconds over ``reps`` runs (min filters host noise)."""
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_serial(renderer: ShearWarpRenderer, view: np.ndarray, reps: int) -> dict:
+    fact = renderer.factorize_view(view)
+    rle = renderer.rle_for(fact)
+    n_v = fact.intermediate_shape[0]
+
+    def run_scanline() -> IntermediateImage:
+        img = IntermediateImage(fact.intermediate_shape)
+        for v in range(n_v):
+            composite_image_scanline(img, v, rle, fact)
+        return img
+
+    def run_block() -> IntermediateImage:
+        img = IntermediateImage(fact.intermediate_shape)
+        composite_scanline_block(img, 0, n_v, rle, fact)
+        return img
+
+    def run_fast() -> IntermediateImage:
+        img = IntermediateImage(fact.intermediate_shape)
+        composite_frame_fast(img, rle, fact)
+        return img
+
+    ref = run_scanline()
+    got = run_block()  # also warms the decoded-slice cache
+    exact = bool(
+        np.array_equal(ref.opacity, got.opacity)
+        and np.array_equal(ref.color, got.color)
+    )
+    times = {
+        "scanline": _best_of(run_scanline, reps),
+        "block": _best_of(run_block, reps),
+        "fast": _best_of(run_fast, reps),
+    }
+    return {
+        "composite_ms": {k: round(v * 1e3, 3) for k, v in times.items()},
+        "block_speedup_vs_scanline": round(times["scanline"] / times["block"], 2),
+        "exact_equal": exact,
+    }
+
+
+def bench_mp(
+    renderer: ShearWarpRenderer,
+    views: list[np.ndarray],
+    procs: tuple[int, ...],
+    reps: int,
+) -> dict:
+    out: dict = {}
+    for n in procs:
+        out[str(n)] = {}
+        for kernel in ("scanline", "block"):
+            oneshot = _best_of(
+                lambda: render_parallel_mp(renderer, views[0], n_procs=n, kernel=kernel),
+                reps,
+            )
+            with MPRenderPool(renderer, n_procs=n, kernel=kernel) as pool:
+                pool.render(views[0])  # warm up fork + decodes
+
+                def run_animation() -> None:
+                    handles = [pool.submit(v) for v in views]
+                    for h in handles:
+                        pool.result(h)
+
+                pooled = _best_of(run_animation, reps) / len(views)
+            out[str(n)][kernel] = {
+                "oneshot_ms": round(oneshot * 1e3, 3),
+                "pooled_ms_per_frame": round(pooled * 1e3, 3),
+            }
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small volumes, minimal reps (CI smoke test)")
+    parser.add_argument("--reps", type=int, default=None,
+                        help="timing repetitions (best-of)")
+    args = parser.parse_args(argv)
+
+    reps = args.reps if args.reps is not None else (1 if args.smoke else 3)
+    procs = (1, 2) if args.smoke else (1, 2, 4)
+    n_anim = 2 if args.smoke else 6
+    datasets = {
+        "mri_brain": (mri_brain, SMOKE_MRI_SHAPE if args.smoke else MRI_SHAPE,
+                      mri_transfer_function()),
+        "ct_head": (ct_head, SMOKE_CT_SHAPE if args.smoke else CT_SHAPE,
+                    ct_transfer_function()),
+    }
+
+    report: dict = {
+        "benchmark": "kernel",
+        "smoke": args.smoke,
+        "host_cpus": os.cpu_count(),
+        "datasets": {},
+    }
+    ok = True
+    for name, (factory, shape, tf) in datasets.items():
+        renderer = ShearWarpRenderer(factory(shape), tf)
+        views = [renderer.view_from_angles(20, 30 + 3 * i, 0) for i in range(n_anim)]
+        serial = bench_serial(renderer, views[0], reps)
+        mp = bench_mp(renderer, views, procs, reps)
+        report["datasets"][name] = {"shape": list(shape), "serial": serial, "mp": mp}
+
+        c = serial["composite_ms"]
+        print(f"{name} {shape}: composite scanline {c['scanline']:.1f} ms, "
+              f"block {c['block']:.1f} ms "
+              f"({serial['block_speedup_vs_scanline']:.1f}x), "
+              f"fast {c['fast']:.1f} ms, "
+              f"exact_equal={serial['exact_equal']}")
+        for n in procs:
+            row = mp[str(n)]
+            print(f"  {n} proc(s): one-shot scanline {row['scanline']['oneshot_ms']:.1f} ms"
+                  f" / block {row['block']['oneshot_ms']:.1f} ms;  pooled scanline "
+                  f"{row['scanline']['pooled_ms_per_frame']:.1f} ms"
+                  f" / block {row['block']['pooled_ms_per_frame']:.1f} ms per frame")
+        ok &= serial["exact_equal"]
+        if not args.smoke and name == "mri_brain":
+            ok &= serial["block_speedup_vs_scanline"] >= 3.0
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    out_path = os.path.join(RESULTS_DIR, "BENCH_kernel.json")
+    with open(out_path, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(f"\nwrote {out_path}")
+    if not ok:
+        print("FAILED: exact-equality or speedup criterion not met", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,15 +36,31 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_render(args: argparse.Namespace) -> int:
+    import time
+
     from .analysis.harness import get_renderer
     from .render.fast import render_fast
 
     renderer = get_renderer(args.dataset, args.scale)
     view = renderer.view_from_angles(args.rx, args.ry, args.rz)
-    result = render_fast(renderer, view)
+    t0 = time.perf_counter()
+    if args.procs > 1:
+        from .parallel.mp_backend import render_parallel_mp
+
+        result = render_parallel_mp(renderer, view, n_procs=args.procs,
+                                    kernel=args.kernel)
+        how = f"{args.procs} procs, {args.kernel} kernel"
+    elif args.kernel == "scanline":
+        result = renderer.render(view)
+        how = "serial, scanline kernel"
+    else:
+        result = render_fast(renderer, view)
+        how = "serial, block kernel"
+    dt = time.perf_counter() - t0
     print(f"rendered {args.dataset} proxy {renderer.shape} -> "
           f"final image {result.final.shape}, "
-          f"alpha mass {result.final.alpha.sum():.0f}")
+          f"alpha mass {result.final.alpha.sum():.0f} "
+          f"({how}, {dt * 1e3:.1f} ms)")
     if args.out:
         np.savez_compressed(args.out, color=result.final.color,
                             alpha=result.final.alpha)
@@ -82,6 +98,10 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--rx", type=float, default=20.0)
     p.add_argument("--ry", type=float, default=30.0)
     p.add_argument("--rz", type=float, default=0.0)
+    p.add_argument("--procs", type=int, default=1,
+                   help="worker processes (>1 uses the shared-memory backend)")
+    p.add_argument("--kernel", default="block", choices=["scanline", "block"],
+                   help="compositing kernel (scanline = instrumented reference)")
     p.add_argument("--out", default=None, help="save image arrays to .npz")
 
     p = sub.add_parser("speedup", help="old-vs-new speedup curve on one machine")

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..render.block import BlockRowCounters, composite_scanline_block
 from ..render.compositing import composite_image_scanline
 from ..render.image import FinalImage, IntermediateImage
 from ..render.instrument import ListTraceSink, SegmentedTraceSink, WorkCounters
@@ -74,13 +75,19 @@ class OldParallelShearWarp:
         n_procs: int,
         chunk: int = DEFAULT_CHUNK,
         tile: int = DEFAULT_TILE,
+        kernel: str = "scanline",
     ) -> None:
         if n_procs < 1:
             raise ValueError("need at least one processor")
+        if kernel not in ("scanline", "block"):
+            raise ValueError("kernel must be 'scanline' or 'block'")
         self.renderer = renderer
         self.n_procs = n_procs
         self.chunk = chunk
         self.tile = tile
+        # kernel='block' composites each chunk through the vectorized
+        # block kernel — same image and counters, no memory traces.
+        self.kernel = kernel
 
     def render_frame(self, view: np.ndarray) -> ParallelFrame:
         """Render one frame, recording per-task costs and traces."""
@@ -96,18 +103,28 @@ class OldParallelShearWarp:
         composite_queues: list[list[int]] = [[] for _ in range(self.n_procs)]
         for pid, chunk_list in enumerate(chunks):
             for (lo, hi) in chunk_list:
+                block_counters: BlockRowCounters | None = None
+                if self.kernel == "block":
+                    block_counters = BlockRowCounters(lo, hi)
+                    composite_scanline_block(img, lo, hi, rle, fact,
+                                             row_counters=block_counters)
                 for v in range(lo, hi):
-                    sink = SegmentedTraceSink()
-                    counters = WorkCounters()
-                    composite_image_scanline(img, v, rle, fact,
-                                             counters=counters, trace=sink)
+                    if block_counters is not None:
+                        counters = block_counters.row(v)
+                        segments = []
+                    else:
+                        sink = SegmentedTraceSink()
+                        counters = WorkCounters()
+                        composite_image_scanline(img, v, rle, fact,
+                                                 counters=counters, trace=sink)
+                        segments = sink.take_segments()
                     rec = TaskRecord(
                         uid=v,
                         phase=COMPOSITE,
                         pid0=pid,
                         cost=scanline_cost(counters),
                         counters=counters,
-                        trace=sink.take_segments(),
+                        trace=segments,
                         meta=v,
                     )
                     composite_units[v] = rec
@@ -120,7 +137,7 @@ class OldParallelShearWarp:
         uid = 0
         for pid, tile_list in enumerate(tiles):
             for (y0, y1, x0, x1) in tile_list:
-                sink = ListTraceSink()
+                sink = None if self.kernel == "block" else ListTraceSink()
                 counters = WorkCounters()
                 warp_tile(final, y0, y1, x0, x1, img, fact,
                           counters=counters, trace=sink)
@@ -130,7 +147,7 @@ class OldParallelShearWarp:
                     pid0=pid,
                     cost=warp_tile_cost(counters),
                     counters=counters,
-                    trace=sink.take_segments(),
+                    trace=sink.take_segments() if sink is not None else [],
                     meta=(y0, y1, x0, x1),
                 )
                 warp_tasks[uid] = rec
@@ -150,4 +167,5 @@ class OldParallelShearWarp:
             region_sizes=region_sizes(rle, img, final),
             slice_order=tuple(int(k) for k in fact.k_front_to_back),
             steal_chunk=self.chunk,
+            kernel=self.kernel,
         )

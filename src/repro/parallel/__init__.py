@@ -1,6 +1,7 @@
 """Execution models: event-driven logical processors and multiprocessing."""
 
 from .execution import FrameReport, PhaseReport, simulate_animation, simulate_frame
+from .mp_backend import MPRenderPool, MPRenderResult, render_parallel_mp
 from .scheduler import ProcSchedule, ScheduleResult, Unit, schedule
 
 __all__ = [
@@ -8,6 +9,9 @@ __all__ = [
     "PhaseReport",
     "simulate_frame",
     "simulate_animation",
+    "MPRenderPool",
+    "MPRenderResult",
+    "render_parallel_mp",
     "ProcSchedule",
     "ScheduleResult",
     "Unit",

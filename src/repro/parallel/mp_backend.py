@@ -9,6 +9,17 @@ pages, exactly the shared-address-space programming model of the paper.
 The read-only renderer state (classified volume, RLE encodings) reaches
 workers for free through ``fork``.
 
+:class:`MPRenderPool` keeps the workers and the shared buffers alive
+across frames, which is what makes animation rendering viable: fork,
+shared-memory setup and the first slice decodes are paid once, and the
+image segments are double-buffered so the parent overlaps zeroing and
+result materialisation with the next frame's compositing.  Each worker
+composites its contiguous partition through the block kernel
+(:func:`repro.render.block.composite_scanline_block`) by default, so the
+per-scanline Python overhead the paper's processors never had does not
+throttle the measured speedup; ``kernel="scanline"`` selects the
+instrumented reference kernel instead (bit-identical output either way).
+
 On a single-core host this still runs correctly (and is exercised by the
 test suite); the wall-clock speedup study is
 ``examples/multicore_speedup.py``.
@@ -17,23 +28,29 @@ test suite); the wall-clock speedup study is
 from __future__ import annotations
 
 import multiprocessing as mp
+import queue as queue_mod
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
 import numpy as np
 
 from ..core.partition import line_ownership, uniform_contiguous_partition
+from ..render.block import composite_scanline_block
 from ..render.compositing import composite_image_scanline, nonempty_scanline_bounds
 from ..render.image import FinalImage, IntermediateImage
 from ..render.serial import ShearWarpRenderer
 from ..render.warp import final_pixel_source_lines, warp_scanline
-from ..transforms.factorization import ShearWarpFactorization
+from ..transforms.factorization import PERMUTATIONS, ShearWarpFactorization
 
-__all__ = ["MPRenderResult", "render_parallel_mp"]
+__all__ = ["MPRenderPool", "MPRenderResult", "render_parallel_mp", "COMPOSITE_KERNELS"]
+
+#: Compositing kernels a worker can run over its partition.
+COMPOSITE_KERNELS = ("scanline", "block")
 
 # Worker globals installed by fork (read-only for the volume; the images
 # are views onto shared memory, partitioned so no two workers write the
-# same bytes).
+# same bytes).  The parent clears this right after the workers fork so
+# renderer state cannot leak into a later pool's fork snapshot.
 _G: dict = {}
 
 
@@ -47,46 +64,363 @@ class MPRenderResult:
     n_procs: int
 
 
-def _worker(pid: int) -> None:
-    """Composite and warp this worker's contiguous partition."""
-    fact: ShearWarpFactorization = _G["fact"]
-    rle = _G["rle"]
-    boundaries = _G["boundaries"]
-    owner = _G["owner"]
-    rows_by_pid = _G["rows_by_pid"]
+def _capacity_shapes(
+    vol_shape: tuple[int, int, int]
+) -> tuple[tuple[int, int], tuple[int, int]]:
+    """Largest (intermediate, final) image shapes any view can produce.
 
-    shm_i = shared_memory.SharedMemory(name=_G["shm_inter"])
-    shm_f = shared_memory.SharedMemory(name=_G["shm_final"])
-    try:
+    The factorization guarantees ``|shear| <= 1`` along the principal
+    axis, so for permutation ``(ni, nj, nk)`` the intermediate image is
+    at most ``(nj + nk, ni + nk)``; the residual warp is a rotation plus
+    translation of that rectangle, bounded by its diagonal.
+    """
+    cap_u = cap_v = 0
+    for perm in PERMUTATIONS.values():
+        ni, nj, nk = (vol_shape[perm[0]], vol_shape[perm[1]], vol_shape[perm[2]])
+        cap_u = max(cap_u, int(np.ceil((ni - 1) + (nk - 1))) + 2)
+        cap_v = max(cap_v, int(np.ceil((nj - 1) + (nk - 1))) + 2)
+    diag = int(np.ceil(np.hypot(cap_u - 1, cap_v - 1))) + 2
+    return (cap_v, cap_u), (diag, diag)
+
+
+def _worker_loop(pid: int) -> None:
+    """Composite and warp this worker's partition, frame after frame."""
+    renderer: ShearWarpRenderer = _G["renderer"]
+    kernel: str = _G["kernel"]
+    jobs = _G["job_queues"][pid]
+    done = _G["done_queue"]
+    barrier = _G["barrier"]
+    shm_i = _G["shm_i"]
+    shm_f = _G["shm_f"]
+    cap_iv, cap_iu = _G["inter_cap"]
+    cap_fy, cap_fx = _G["final_cap"]
+    inter_floats = cap_iv * cap_iu
+    final_floats = cap_fy * cap_fx
+
+    while True:
+        job = jobs.get()
+        if job is None:
+            return
+        frame, buf, fact, v_lo, v_hi, owner, warp_rows = job
+        err: str | None = None
+        try:
+            n_v, n_u = fact.intermediate_shape
+            ny, nx = fact.final_shape
+            base_i = buf * 2 * inter_floats
+            base_f = buf * 2 * final_floats
+            full_c = np.ndarray(
+                (cap_iv, cap_iu), np.float32, buffer=shm_i.buf, offset=base_i * 4
+            )
+            full_o = np.ndarray(
+                (cap_iv, cap_iu), np.float32, buffer=shm_i.buf,
+                offset=(base_i + inter_floats) * 4,
+            )
+            img = IntermediateImage((n_v, n_u))
+            img.color = full_c[:n_v, :n_u]
+            img.opacity = full_o[:n_v, :n_u]
+
+            try:
+                rle = renderer.rle_for(fact)
+                if kernel == "block":
+                    composite_scanline_block(img, v_lo, v_hi, rle, fact)
+                else:
+                    for v in range(v_lo, v_hi):
+                        composite_image_scanline(img, v, rle, fact)
+            finally:
+                # Siblings block on this barrier no matter what happened
+                # above — reaching it even on error prevents a deadlock.
+                barrier.wait()
+
+            final = FinalImage((ny, nx))
+            final.color = np.ndarray(
+                (cap_fy, cap_fx), np.float32, buffer=shm_f.buf, offset=base_f * 4
+            )[:ny, :nx]
+            final.alpha = np.ndarray(
+                (cap_fy, cap_fx), np.float32, buffer=shm_f.buf,
+                offset=(base_f + final_floats) * 4,
+            )[:ny, :nx]
+            for y in warp_rows:
+                warp_scanline(final, y, img, fact, line_owner=owner, pid=pid)
+        except Exception as exc:  # noqa: BLE001 - forwarded to the parent
+            err = f"{type(exc).__name__}: {exc}"
+        done.put((pid, frame, err))
+
+
+class MPRenderPool:
+    """Persistent pool of render workers sharing double-buffered images.
+
+    Parameters
+    ----------
+    renderer:
+        The serial renderer whose volume/encodings the workers inherit
+        through ``fork`` at pool construction.  (Re-create the pool if
+        the renderer's volume changes.)
+    n_procs:
+        Worker process count.
+    kernel:
+        ``"block"`` (default) composites each partition through the
+        vectorized block kernel; ``"scanline"`` uses the per-scanline
+        reference kernel.  Both produce bit-identical images.
+    buffers:
+        Shared image buffers cycled across frames.  With two (the
+        default), ``submit`` of frame ``n+1`` only waits for frame
+        ``n-1``, overlapping the parent's zeroing/copy-out with the
+        workers' compositing of the previous frame.
+    """
+
+    def __init__(
+        self,
+        renderer: ShearWarpRenderer,
+        n_procs: int = 2,
+        kernel: str = "block",
+        buffers: int = 2,
+    ) -> None:
+        if n_procs < 1:
+            raise ValueError("need at least one worker")
+        if kernel not in COMPOSITE_KERNELS:
+            raise ValueError(f"kernel must be one of {COMPOSITE_KERNELS}, got {kernel!r}")
+        if buffers < 1:
+            raise ValueError("need at least one image buffer")
+        if mp.get_start_method(allow_none=True) not in (None, "fork"):
+            raise RuntimeError("MPRenderPool requires the fork start method")
+
+        self.renderer = renderer
+        self.n_procs = int(n_procs)
+        self.kernel = kernel
+        self.buffers = int(buffers)
+        self.inter_cap, self.final_cap = _capacity_shapes(renderer.shape)
+        cap_iv, cap_iu = self.inter_cap
+        cap_fy, cap_fx = self.final_cap
+        self._inter_floats = cap_iv * cap_iu
+        self._final_floats = cap_fy * cap_fx
+
+        self._shm_i = shared_memory.SharedMemory(
+            create=True, size=self.buffers * 2 * self._inter_floats * 4
+        )
+        self._shm_f = shared_memory.SharedMemory(
+            create=True, size=self.buffers * 2 * self._final_floats * 4
+        )
+        # Zero through numpy views — never a full-size Python bytes object.
+        np.ndarray(
+            (self.buffers * 2 * self._inter_floats,), np.float32, buffer=self._shm_i.buf
+        ).fill(0.0)
+        np.ndarray(
+            (self.buffers * 2 * self._final_floats,), np.float32, buffer=self._shm_f.buf
+        ).fill(0.0)
+
+        ctx = mp.get_context("fork")
+        self._job_queues = [ctx.SimpleQueue() for _ in range(self.n_procs)]
+        self._done_queue = ctx.Queue()
+        _G.update(
+            renderer=renderer,
+            kernel=kernel,
+            job_queues=self._job_queues,
+            done_queue=self._done_queue,
+            barrier=ctx.Barrier(self.n_procs),
+            shm_i=self._shm_i,
+            shm_f=self._shm_f,
+            inter_cap=self.inter_cap,
+            final_cap=self.final_cap,
+        )
+        try:
+            self._workers = [
+                ctx.Process(target=_worker_loop, args=(pid,), daemon=True)
+                for pid in range(self.n_procs)
+            ]
+            for w in self._workers:
+                w.start()
+        finally:
+            # The fork snapshot is taken at start(); drop the parent-side
+            # references so nothing leaks into a later pool's snapshot.
+            _G.clear()
+
+        self._next_frame = 0
+        self._inflight: dict[int, dict] = {}  # frame -> {buf, fact}
+        self._results: dict[int, MPRenderResult] = {}
+        # Per-buffer state: the frame occupying it and the image shapes
+        # its last occupant dirtied (so reuse only zeroes those regions).
+        self._buf_frame: list[int | None] = [None] * self.buffers
+        self._buf_dirty: list[tuple[tuple[int, int], tuple[int, int]] | None] = (
+            [None] * self.buffers
+        )
+        self._closed = False
+
+    # -- frame lifecycle -----------------------------------------------------
+
+    def submit(self, view: np.ndarray) -> int:
+        """Dispatch one frame to the workers; returns its frame id.
+
+        Blocks only if every buffer is still occupied by an unfinished
+        frame (with ``buffers=2`` that means two frames behind).
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        fact = self.renderer.factorize_view(view)
         n_v, n_u = fact.intermediate_shape
-        ny, nx = _G["final_shape"]
-        inter_color = np.ndarray((n_v, n_u), dtype=np.float32, buffer=shm_i.buf)
-        inter_opac = np.ndarray(
-            (n_v, n_u), dtype=np.float32, buffer=shm_i.buf, offset=n_v * n_u * 4
-        )
+        ny, nx = fact.final_shape
+        if (n_v, n_u) > self.inter_cap or (ny, nx) > self.final_cap:
+            raise RuntimeError(
+                f"frame shapes {(n_v, n_u)}/{(ny, nx)} exceed pool capacity "
+                f"{self.inter_cap}/{self.final_cap} — is the view matrix scaled?"
+            )
+
+        frame = self._next_frame
+        self._next_frame += 1
+        buf = frame % self.buffers
+        prev = self._buf_frame[buf]
+        if prev is not None and prev in self._inflight:
+            self._collect(prev)  # materialises into self._results
+        self._zero_buffer(buf)
+        self._buf_frame[buf] = frame
+        self._buf_dirty[buf] = ((n_v, n_u), (ny, nx))
+
+        rle = self.renderer.rle_for(fact)
+        v_lo, v_hi = nonempty_scanline_bounds(rle, fact)
+        boundaries = uniform_contiguous_partition(v_lo, v_hi, self.n_procs)
+        owner = line_ownership(boundaries, n_v)
+        src_lines = final_pixel_source_lines((ny, nx), fact)
+        rows_by_pid: list[list[int]] = [[] for _ in range(self.n_procs)]
+        for y in range(ny):
+            vmin = min(max(int(src_lines[y, 0]), 0), n_v - 1)
+            vmax = min(max(int(src_lines[y, 1]), vmin + 1), n_v)
+            for pid in np.unique(owner[vmin:vmax]):
+                rows_by_pid[int(pid)].append(y)
+
+        for pid in range(self.n_procs):
+            self._job_queues[pid].put(
+                (
+                    frame,
+                    buf,
+                    fact,
+                    int(boundaries[pid]),
+                    int(boundaries[pid + 1]),
+                    owner,
+                    rows_by_pid[pid],
+                )
+            )
+        self._inflight[frame] = {"buf": buf, "fact": fact}
+        return frame
+
+    def result(self, frame: int) -> MPRenderResult:
+        """Wait for ``frame`` and return its images (copies)."""
+        if frame in self._results:
+            return self._results.pop(frame)
+        if frame not in self._inflight:
+            raise KeyError(f"unknown frame {frame}")
+        self._collect(frame)
+        return self._results.pop(frame)
+
+    def render(self, view: np.ndarray) -> MPRenderResult:
+        """Render one frame synchronously."""
+        return self.result(self.submit(view))
+
+    def _collect(self, frame: int) -> None:
+        """Drain done messages until ``frame`` completes, then copy it out."""
+        info = self._inflight[frame]
+        info.setdefault("done", 0)
+        errors: list[str] = []
+        while info["done"] < self.n_procs:
+            try:
+                pid, done_frame, err = self._done_queue.get(timeout=1.0)
+            except queue_mod.Empty:
+                dead = [w.pid for w in self._workers if not w.is_alive()]
+                if dead:
+                    raise RuntimeError(f"render worker(s) {dead} died") from None
+                continue
+            rec = self._inflight.get(done_frame)
+            if rec is None:
+                continue
+            rec.setdefault("done", 0)
+            rec["done"] += 1
+            if err is not None:
+                rec.setdefault("errors", []).append(f"worker {pid}: {err}")
+            if rec is not info and rec["done"] >= self.n_procs:
+                self._materialize(done_frame)
+        errors = info.get("errors", [])
+        if errors:
+            del self._inflight[frame]
+            raise RuntimeError("; ".join(errors))
+        self._materialize(frame)
+
+    def _materialize(self, frame: int) -> None:
+        """Copy a completed frame out of its shared buffer."""
+        info = self._inflight.pop(frame)
+        if info.get("errors"):
+            # A sibling error frame collected out of band: surface it
+            # when (if ever) its result is requested.
+            raise RuntimeError("; ".join(info["errors"]))
+        fact: ShearWarpFactorization = info["fact"]
+        buf = info["buf"]
+        n_v, n_u = fact.intermediate_shape
+        ny, nx = fact.final_shape
         img = IntermediateImage((n_v, n_u))
-        img.color = inter_color
-        img.opacity = inter_opac
-
-        for v in range(int(boundaries[pid]), int(boundaries[pid + 1])):
-            composite_image_scanline(img, v, rle, fact)
-
-        _G["barrier"].wait()  # all partitions composited before warping
-
+        img.color = self._inter_view(buf, 0)[:n_v, :n_u].copy()
+        img.opacity = self._inter_view(buf, 1)[:n_v, :n_u].copy()
         final = FinalImage((ny, nx))
-        final.color = np.ndarray((ny, nx), dtype=np.float32, buffer=shm_f.buf)
-        final.alpha = np.ndarray(
-            (ny, nx), dtype=np.float32, buffer=shm_f.buf, offset=ny * nx * 4
+        final.color = self._final_view(buf, 0)[:ny, :nx].copy()
+        final.alpha = self._final_view(buf, 1)[:ny, :nx].copy()
+        self._results[frame] = MPRenderResult(
+            final=final, intermediate=img, fact=fact, n_procs=self.n_procs
         )
-        for y in rows_by_pid[pid]:
-            warp_scanline(final, y, img, fact, line_owner=owner, pid=pid)
-    finally:
-        shm_i.close()
-        shm_f.close()
+
+    # -- shared-buffer plumbing ----------------------------------------------
+
+    def _inter_view(self, buf: int, plane: int) -> np.ndarray:
+        off = (buf * 2 + plane) * self._inter_floats * 4
+        return np.ndarray(self.inter_cap, np.float32, buffer=self._shm_i.buf, offset=off)
+
+    def _final_view(self, buf: int, plane: int) -> np.ndarray:
+        off = (buf * 2 + plane) * self._final_floats * 4
+        return np.ndarray(self.final_cap, np.float32, buffer=self._shm_f.buf, offset=off)
+
+    def _zero_buffer(self, buf: int) -> None:
+        """Zero only the regions the buffer's previous frame wrote."""
+        dirty = self._buf_dirty[buf]
+        if dirty is None:
+            return  # fresh buffer, already zero
+        (n_v, n_u), (ny, nx) = dirty
+        for plane in (0, 1):
+            self._inter_view(buf, plane)[:n_v, :n_u].fill(0.0)
+            self._final_view(buf, plane)[:ny, :nx].fill(0.0)
+        self._buf_dirty[buf] = None
+
+    # -- teardown ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the workers and release the shared buffers."""
+        if self._closed:
+            return
+        self._closed = True
+        for q in self._job_queues:
+            q.put(None)
+        for w in self._workers:
+            w.join(timeout=5.0)
+            if w.is_alive():
+                w.terminate()
+                w.join()
+        self._shm_i.close()
+        self._shm_f.close()
+        self._shm_i.unlink()
+        self._shm_f.unlink()
+
+    def __enter__(self) -> "MPRenderPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort if close() was forgotten
+        try:
+            self.close()
+        except Exception:
+            pass
 
 
 def render_parallel_mp(
-    renderer: ShearWarpRenderer, view: np.ndarray, n_procs: int = 2
+    renderer: ShearWarpRenderer,
+    view: np.ndarray,
+    n_procs: int = 2,
+    kernel: str = "block",
 ) -> MPRenderResult:
     """Render one frame with ``n_procs`` worker processes.
 
@@ -96,67 +430,9 @@ def render_parallel_mp(
     simulated 1997 run, the partition here is uniform rather than
     profile-balanced, so neighbors may need each other's boundary
     lines).
+
+    One-shot convenience over :class:`MPRenderPool` — for animations,
+    keep a pool alive across frames instead.
     """
-    if n_procs < 1:
-        raise ValueError("need at least one worker")
-    if mp.get_start_method(allow_none=True) not in (None, "fork"):
-        raise RuntimeError("render_parallel_mp requires the fork start method")
-
-    fact = renderer.factorize_view(view)
-    rle = renderer.rle_for(fact)
-    n_v, n_u = fact.intermediate_shape
-    ny, nx = fact.final_shape
-
-    v_lo, v_hi = nonempty_scanline_bounds(rle, fact)
-    boundaries = uniform_contiguous_partition(v_lo, v_hi, n_procs)
-    owner = line_ownership(boundaries, n_v)
-    src_lines = final_pixel_source_lines((ny, nx), fact)
-    rows_by_pid: list[list[int]] = [[] for _ in range(n_procs)]
-    for y in range(ny):
-        vmin = min(max(int(src_lines[y, 0]), 0), n_v - 1)
-        vmax = min(max(int(src_lines[y, 1]), vmin + 1), n_v)
-        for pid in np.unique(owner[vmin:vmax]):
-            rows_by_pid[int(pid)].append(y)
-
-    shm_i = shared_memory.SharedMemory(create=True, size=2 * n_v * n_u * 4)
-    shm_f = shared_memory.SharedMemory(create=True, size=2 * ny * nx * 4)
-    try:
-        shm_i.buf[:] = b"\x00" * len(shm_i.buf)
-        shm_f.buf[:] = b"\x00" * len(shm_f.buf)
-
-        ctx = mp.get_context("fork")
-        _G.update(
-            fact=fact,
-            rle=rle,
-            boundaries=boundaries,
-            owner=owner,
-            rows_by_pid=rows_by_pid,
-            shm_inter=shm_i.name,
-            shm_final=shm_f.name,
-            final_shape=(ny, nx),
-            barrier=ctx.Barrier(n_procs),
-        )
-        workers = [ctx.Process(target=_worker, args=(pid,)) for pid in range(n_procs)]
-        for w in workers:
-            w.start()
-        for w in workers:
-            w.join()
-        if any(w.exitcode != 0 for w in workers):
-            raise RuntimeError("a render worker crashed")
-
-        img = IntermediateImage((n_v, n_u))
-        img.color = np.ndarray((n_v, n_u), np.float32, buffer=shm_i.buf).copy()
-        img.opacity = np.ndarray(
-            (n_v, n_u), np.float32, buffer=shm_i.buf, offset=n_v * n_u * 4
-        ).copy()
-        final = FinalImage((ny, nx))
-        final.color = np.ndarray((ny, nx), np.float32, buffer=shm_f.buf).copy()
-        final.alpha = np.ndarray(
-            (ny, nx), np.float32, buffer=shm_f.buf, offset=ny * nx * 4
-        ).copy()
-        return MPRenderResult(final=final, intermediate=img, fact=fact, n_procs=n_procs)
-    finally:
-        shm_i.close()
-        shm_i.unlink()
-        shm_f.close()
-        shm_f.unlink()
+    with MPRenderPool(renderer, n_procs=n_procs, kernel=kernel, buffers=1) as pool:
+        return pool.render(view)

@@ -1,5 +1,6 @@
 """Serial renderers: shear-warp and the ray-casting baseline."""
 
+from .block import BlockRowCounters, composite_scanline_block
 from .compositing import composite_frame, composite_image_scanline, nonempty_scanline_bounds
 from .image import BYTES_PER_PIXEL, OPAQUE_THRESHOLD, FinalImage, IntermediateImage
 from .instrument import ListTraceSink, Region, SegmentedTraceSink, TraceSink, WorkCounters
@@ -9,6 +10,8 @@ from .shading import NormalTable, PhongParameters, central_gradients, shade_volu
 from .warp import final_pixel_source_lines, warp_frame, warp_scanline, warp_tile
 
 __all__ = [
+    "BlockRowCounters",
+    "composite_scanline_block",
     "composite_frame",
     "composite_image_scanline",
     "nonempty_scanline_bounds",

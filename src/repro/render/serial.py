@@ -51,6 +51,7 @@ class ShearWarpRenderer:
     def __init__(self, raw: np.ndarray, tf: TransferFunction) -> None:
         self.classified = ClassifiedVolume.classify(raw, tf)
         self.rle_by_axis: dict[int, RLEVolume] = encode_all_axes(self.classified)
+        self._last_axis: int | None = None
 
     @classmethod
     def from_classified(cls, classified: ClassifiedVolume) -> "ShearWarpRenderer":
@@ -59,6 +60,7 @@ class ShearWarpRenderer:
         self = cls.__new__(cls)
         self.classified = classified
         self.rle_by_axis = encode_all_axes(classified)
+        self._last_axis = None
         return self
 
     @property
@@ -74,7 +76,16 @@ class ShearWarpRenderer:
         return matrices.view_matrix(rot_x, rot_y, rot_z, self.shape)
 
     def rle_for(self, fact: ShearWarpFactorization) -> RLEVolume:
-        """Pick the run-length encoding matching a factorization's axis."""
+        """Pick the run-length encoding matching a factorization's axis.
+
+        When an animation's rotation crosses a principal-axis boundary,
+        the encoding just left behind won't be sampled again soon — its
+        decoded-slice cache is dropped so only the active axis holds
+        decoded planes in memory.
+        """
+        if self._last_axis is not None and self._last_axis != fact.axis:
+            self.rle_by_axis[self._last_axis].clear_slice_cache()
+        self._last_axis = fact.axis
         return self.rle_by_axis[fact.axis]
 
     def render(

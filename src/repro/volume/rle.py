@@ -23,6 +23,7 @@ which bytes a compositing task touches, without re-walking the runs.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -30,13 +31,77 @@ import numpy as np
 from ..transforms.factorization import PERMUTATIONS
 from .volume import ClassifiedVolume
 
-__all__ = ["RLEVolume", "encode", "encode_all_axes", "BYTES_PER_VOXEL", "BYTES_PER_RUN"]
+__all__ = [
+    "RLEVolume",
+    "SliceCache",
+    "encode",
+    "encode_all_axes",
+    "BYTES_PER_VOXEL",
+    "BYTES_PER_RUN",
+    "DEFAULT_SLICE_CACHE_CAPACITY",
+]
 
 #: Bytes per encoded non-transparent voxel record (opacity + luminance,
 #: two 4-byte words) — used by the address tracer.
 BYTES_PER_VOXEL = 8
 #: Bytes per run-length table entry.
 BYTES_PER_RUN = 4
+
+#: Default bound on cached decoded slices per encoding.  Sized to hold
+#: every slice of the proxy-scaled paper volumes (nk <= ~100) so a frame
+#: decodes each slice at most once, while keeping worst-case memory for a
+#: 96-voxel proxy around 10 MB per axis.
+DEFAULT_SLICE_CACHE_CAPACITY = 128
+
+
+class SliceCache:
+    """Bounded LRU of decoded slice planes for one :class:`RLEVolume`.
+
+    Decoding a slice walks every run of ``nj`` scanlines in Python — by
+    far the most expensive part of the vectorized compositing kernels —
+    yet the decoded planes are pure functions of the (immutable)
+    encoding.  Every consumer of one principal axis (the fast whole-frame
+    path, the block kernel, each multiprocessing worker) re-reads the
+    same ``nk`` planes every frame of an animation, so a small LRU turns
+    all but the first frame's decodes into lookups.
+
+    The cache stores the *padded* planes (one transparent border row and
+    column on each side) because that is the form both vectorized kernels
+    consume; the unpadded view is sliced out on demand.  Cached planes
+    are read-only so a stray consumer cannot corrupt the shared state.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "_planes")
+
+    def __init__(self, capacity: int = DEFAULT_SLICE_CACHE_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("slice cache capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.hits = 0
+        self.misses = 0
+        self._planes: OrderedDict[int, tuple[np.ndarray, np.ndarray]] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._planes)
+
+    def get(self, k: int) -> tuple[np.ndarray, np.ndarray] | None:
+        entry = self._planes.get(k)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._planes.move_to_end(k)
+        self.hits += 1
+        return entry
+
+    def put(self, k: int, planes: tuple[np.ndarray, np.ndarray]) -> None:
+        self._planes[k] = planes
+        self._planes.move_to_end(k)
+        while len(self._planes) > self.capacity:
+            self._planes.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every cached plane (hit/miss statistics are kept)."""
+        self._planes.clear()
 
 
 @dataclass(frozen=True)
@@ -52,6 +117,24 @@ class RLEVolume:
     voxel_color: np.ndarray  # float32, flat
     vox_start: np.ndarray  # int64 (nk, nj)
     vox_count: np.ndarray  # int32 (nk, nj)
+
+    def __post_init__(self) -> None:
+        # Per-encoding decoded-slice LRU (a non-field attribute so frozen
+        # dataclass semantics — equality, repr, hashing — are unaffected).
+        object.__setattr__(self, "_slice_cache", SliceCache())
+
+    @property
+    def slice_cache(self) -> SliceCache:
+        """This encoding's decoded-slice LRU (created lazily after unpickling)."""
+        cache = self.__dict__.get("_slice_cache")
+        if cache is None:
+            cache = SliceCache()
+            object.__setattr__(self, "_slice_cache", cache)
+        return cache
+
+    def clear_slice_cache(self) -> None:
+        """Invalidate the decoded-slice cache (e.g. on a principal-axis switch)."""
+        self.slice_cache.clear()
 
     # -- basic geometry ----------------------------------------------------
 
@@ -101,11 +184,34 @@ class RLEVolume:
         return opac, col
 
     def decode_slice(self, k: int) -> tuple[np.ndarray, np.ndarray]:
-        """Dense ``(opacity, color)`` planes of shape ``(nj, ni)`` for slice k."""
-        opac = np.zeros((self.nj, self.ni), dtype=np.float32)
-        col = np.zeros((self.nj, self.ni), dtype=np.float32)
+        """Dense ``(opacity, color)`` planes of shape ``(nj, ni)`` for slice k.
+
+        Served from the decoded-slice LRU; the returned planes are
+        read-only views shared with other callers — copy before mutating.
+        """
+        opac, col = self.decode_slice_padded(k)
+        return opac[1:-1, 1:-1], col[1:-1, 1:-1]
+
+    def decode_slice_padded(self, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Dense planes of slice ``k`` with one transparent pad row/column
+        on each side — shape ``(nj + 2, ni + 2)``, the form the vectorized
+        compositing kernels sample (out-of-volume reads land on the pad).
+
+        Results come from a bounded per-encoding LRU
+        (:attr:`slice_cache`) and are read-only.
+        """
+        k = int(k)
+        cache = self.slice_cache
+        cached = cache.get(k)
+        if cached is not None:
+            return cached
+        opac = np.zeros((self.nj + 2, self.ni + 2), dtype=np.float32)
+        col = np.zeros((self.nj + 2, self.ni + 2), dtype=np.float32)
         for j in range(self.nj):
-            opac[j], col[j] = self.decode_scanline(k, j)
+            opac[j + 1, 1:-1], col[j + 1, 1:-1] = self.decode_scanline(k, j)
+        opac.setflags(write=False)
+        col.setflags(write=False)
+        cache.put(k, (opac, col))
         return opac, col
 
     # -- size accounting ----------------------------------------------------

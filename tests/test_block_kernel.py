@@ -1,0 +1,359 @@
+"""Golden-equivalence tests: block kernel vs the per-scanline reference.
+
+The block kernel's contract is *bit-identical* output (np.array_equal,
+not allclose) and identical work counters for any contiguous scanline
+band, so everything built on it — the fast whole-frame path, the
+multiprocessing workers, block-kernel frame recording — inherits the
+reference semantics.  Also covers the decoded-slice LRU and the
+persistent multiprocessing pool.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import ct_head, mri_brain, solid_sphere
+from repro.parallel.mp_backend import MPRenderPool, render_parallel_mp
+from repro.render import (
+    BlockRowCounters,
+    FinalImage,
+    IntermediateImage,
+    ShearWarpRenderer,
+    WorkCounters,
+    composite_image_scanline,
+    composite_scanline_block,
+    warp_frame,
+    warp_frame_fast,
+)
+from repro.volume import (
+    binary_transfer_function,
+    ct_transfer_function,
+    mri_transfer_function,
+)
+from repro.volume.rle import DEFAULT_SLICE_CACHE_CAPACITY, SliceCache
+
+COUNTER_FIELDS = (
+    "loop_iters",
+    "pixels_skipped",
+    "run_entries",
+    "resample_ops",
+    "composite_ops",
+)
+
+
+@pytest.fixture(scope="module")
+def mri_renderer():
+    return ShearWarpRenderer(mri_brain((24, 24, 18)), mri_transfer_function())
+
+
+@pytest.fixture(scope="module")
+def ct_renderer():
+    # The CT phantom's dense bone shells saturate pixels quickly — the
+    # early-termination-heavy case.
+    return ShearWarpRenderer(ct_head((22, 22, 22)), ct_transfer_function())
+
+
+def reference_composite(rle, fact, v_lo=None, v_hi=None):
+    img = IntermediateImage(fact.intermediate_shape)
+    counters = WorkCounters()
+    lo = 0 if v_lo is None else v_lo
+    hi = img.n_v if v_hi is None else v_hi
+    for v in range(lo, hi):
+        composite_image_scanline(img, v, rle, fact, counters=counters)
+    return img, counters
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("angles", [(20, 30, 0), (0, 0, 0), (-35, 55, 10)])
+    def test_full_frame_mri(self, mri_renderer, angles):
+        fact = mri_renderer.factorize_view(mri_renderer.view_from_angles(*angles))
+        rle = mri_renderer.rle_for(fact)
+        ref, ref_c = reference_composite(rle, fact)
+        got = IntermediateImage(fact.intermediate_shape)
+        got_c = WorkCounters()
+        composite_scanline_block(got, 0, got.n_v, rle, fact, counters=got_c)
+        assert np.array_equal(ref.opacity, got.opacity)
+        assert np.array_equal(ref.color, got.color)
+        for f in COUNTER_FIELDS:
+            assert getattr(ref_c, f) == getattr(got_c, f), f
+
+    @pytest.mark.parametrize("angles", [(35, -25, 5), (10, 80, 0)])
+    def test_full_frame_ct_early_termination(self, ct_renderer, angles):
+        fact = ct_renderer.factorize_view(ct_renderer.view_from_angles(*angles))
+        rle = ct_renderer.rle_for(fact)
+        ref, ref_c = reference_composite(rle, fact)
+        got = IntermediateImage(fact.intermediate_shape)
+        got_c = WorkCounters()
+        composite_scanline_block(got, 0, got.n_v, rle, fact, counters=got_c)
+        assert np.array_equal(ref.opacity, got.opacity)
+        assert np.array_equal(ref.color, got.color)
+        # Early termination must actually fire for this to test anything.
+        assert ref_c.pixels_skipped > 0
+        for f in COUNTER_FIELDS:
+            assert getattr(ref_c, f) == getattr(got_c, f), f
+
+    def test_opaque_sphere_terminates_rows(self):
+        r = ShearWarpRenderer(solid_sphere((18, 18, 18)), binary_transfer_function(128))
+        fact = r.factorize_view(r.view_from_angles(10, 20, 0))
+        rle = r.rle_for(fact)
+        ref, _ = reference_composite(rle, fact)
+        got = IntermediateImage(fact.intermediate_shape)
+        composite_scanline_block(got, 0, got.n_v, rle, fact)
+        assert np.array_equal(ref.opacity, got.opacity)
+        assert np.array_equal(ref.color, got.color)
+        assert got.opacity.max() >= got.opaque_threshold  # rows did saturate
+
+    def test_partition_subranges_compose(self, mri_renderer):
+        """Compositing a frame as disjoint bands == compositing it whole."""
+        fact = mri_renderer.factorize_view(mri_renderer.view_from_angles(20, 30, 0))
+        rle = mri_renderer.rle_for(fact)
+        ref, _ = reference_composite(rle, fact)
+        got = IntermediateImage(fact.intermediate_shape)
+        n_v = got.n_v
+        cuts = [0, n_v // 4 + 1, n_v // 2, n_v - 3, n_v]
+        for lo, hi in zip(cuts[:-1], cuts[1:]):
+            composite_scanline_block(got, lo, hi, rle, fact)
+        assert np.array_equal(ref.opacity, got.opacity)
+        assert np.array_equal(ref.color, got.color)
+
+    def test_band_matches_scanline_loop_on_same_band(self, mri_renderer):
+        fact = mri_renderer.factorize_view(mri_renderer.view_from_angles(-15, 40, 10))
+        rle = mri_renderer.rle_for(fact)
+        n_v = fact.intermediate_shape[0]
+        lo, hi = n_v // 3, 2 * n_v // 3
+        ref, ref_c = reference_composite(rle, fact, lo, hi)
+        got = IntermediateImage(fact.intermediate_shape)
+        got_c = WorkCounters()
+        composite_scanline_block(got, lo, hi, rle, fact, counters=got_c)
+        assert np.array_equal(ref.opacity, got.opacity)
+        for f in COUNTER_FIELDS:
+            assert getattr(ref_c, f) == getattr(got_c, f), f
+
+    def test_per_row_counters_match_reference(self, mri_renderer):
+        fact = mri_renderer.factorize_view(mri_renderer.view_from_angles(20, 30, 0))
+        rle = mri_renderer.rle_for(fact)
+        n_v = fact.intermediate_shape[0]
+        rc = BlockRowCounters(0, n_v)
+        img = IntermediateImage(fact.intermediate_shape)
+        composite_scanline_block(img, 0, n_v, rle, fact, row_counters=rc)
+        ref = IntermediateImage(fact.intermediate_shape)
+        for v in range(n_v):
+            c = WorkCounters()
+            composite_image_scanline(ref, v, rle, fact, counters=c)
+            row = rc.row(v)
+            for f in COUNTER_FIELDS:
+                assert getattr(c, f) == getattr(row, f), (v, f)
+
+    def test_row_counters_range_must_match(self, mri_renderer):
+        fact = mri_renderer.factorize_view(mri_renderer.view_from_angles(20, 30, 0))
+        rle = mri_renderer.rle_for(fact)
+        img = IntermediateImage(fact.intermediate_shape)
+        with pytest.raises(ValueError, match="row_counters"):
+            composite_scanline_block(
+                img, 0, img.n_v, rle, fact, row_counters=BlockRowCounters(1, img.n_v)
+            )
+
+    def test_empty_band_is_noop(self, mri_renderer):
+        fact = mri_renderer.factorize_view(mri_renderer.view_from_angles(20, 30, 0))
+        rle = mri_renderer.rle_for(fact)
+        img = IntermediateImage(fact.intermediate_shape)
+        composite_scanline_block(img, 5, 5, rle, fact)
+        assert not img.opacity.any()
+
+
+class TestWarpFastBitExact:
+    def test_fast_warp_matches_reference(self, mri_renderer):
+        for angles in ((20, 30, 0), (-40, 15, 25)):
+            fact = mri_renderer.factorize_view(mri_renderer.view_from_angles(*angles))
+            rle = mri_renderer.rle_for(fact)
+            img = IntermediateImage(fact.intermediate_shape)
+            composite_scanline_block(img, 0, img.n_v, rle, fact)
+            ref = FinalImage(fact.final_shape)
+            warp_frame(ref, img, fact)
+            got = FinalImage(fact.final_shape)
+            warp_frame_fast(got, img, fact)
+            assert np.array_equal(ref.color, got.color)
+            assert np.array_equal(ref.alpha, got.alpha)
+
+
+class TestSliceCache:
+    def test_hits_and_misses(self, mri_renderer):
+        fact = mri_renderer.factorize_view(mri_renderer.view_from_angles(20, 30, 0))
+        rle = mri_renderer.rle_for(fact)
+        rle.clear_slice_cache()
+        cache = rle.slice_cache
+        h0, m0 = cache.hits, cache.misses
+        rle.decode_slice(0)
+        rle.decode_slice(0)
+        rle.decode_slice(1)
+        assert cache.misses - m0 == 2
+        assert cache.hits - h0 == 1
+        assert len(cache) == 2
+
+    def test_cached_planes_are_shared_and_readonly(self, mri_renderer):
+        fact = mri_renderer.factorize_view(mri_renderer.view_from_angles(20, 30, 0))
+        rle = mri_renderer.rle_for(fact)
+        a_o, a_c = rle.decode_slice_padded(2)
+        b_o, b_c = rle.decode_slice_padded(2)
+        assert a_o is b_o and a_c is b_c
+        with pytest.raises(ValueError):
+            a_o[0, 0] = 1.0
+        # The unpadded view matches the padded interior.
+        o, c = rle.decode_slice(2)
+        assert np.array_equal(o, a_o[1:-1, 1:-1])
+        assert np.array_equal(c, a_c[1:-1, 1:-1])
+
+    def test_decode_matches_scanline_decode(self, mri_renderer):
+        fact = mri_renderer.factorize_view(mri_renderer.view_from_angles(20, 30, 0))
+        rle = mri_renderer.rle_for(fact)
+        k = rle.nk // 2
+        o, c = rle.decode_slice(k)
+        for j in range(rle.nj):
+            ref_o, ref_c = rle.decode_scanline(k, j)
+            assert np.array_equal(o[j], ref_o)
+            assert np.array_equal(c[j], ref_c)
+
+    def test_lru_eviction(self):
+        cache = SliceCache(capacity=2)
+        planes = {k: (np.zeros(1), np.zeros(1)) for k in range(3)}
+        cache.put(0, planes[0])
+        cache.put(1, planes[1])
+        assert cache.get(0) is not None  # 0 now most-recent
+        cache.put(2, planes[2])  # evicts 1
+        assert cache.get(1) is None
+        assert cache.get(0) is not None
+        assert cache.get(2) is not None
+        assert len(cache) == 2
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SliceCache(capacity=0)
+        assert SliceCache().capacity == DEFAULT_SLICE_CACHE_CAPACITY
+
+    def test_clear_invalidates(self, mri_renderer):
+        fact = mri_renderer.factorize_view(mri_renderer.view_from_angles(20, 30, 0))
+        rle = mri_renderer.rle_for(fact)
+        rle.decode_slice(0)
+        assert len(rle.slice_cache) > 0
+        rle.clear_slice_cache()
+        assert len(rle.slice_cache) == 0
+
+    def test_axis_switch_clears_previous_axis(self, mri_renderer):
+        # Straight-on view -> axis 2; rotate 90 degrees about y -> axis 0.
+        fact_z = mri_renderer.factorize_view(mri_renderer.view_from_angles(0, 0, 0))
+        rle_z = mri_renderer.rle_for(fact_z)
+        rle_z.decode_slice(0)
+        assert len(rle_z.slice_cache) > 0
+        fact_x = mri_renderer.factorize_view(mri_renderer.view_from_angles(0, 90, 0))
+        assert fact_x.axis != fact_z.axis
+        mri_renderer.rle_for(fact_x)
+        assert len(rle_z.slice_cache) == 0
+        # Re-prime for other tests (module-scoped fixture).
+        mri_renderer.rle_for(fact_z)
+
+    def test_cache_survives_unpickling(self):
+        import pickle
+
+        vol = mri_brain((12, 12, 10))
+        r = ShearWarpRenderer(vol, mri_transfer_function())
+        rle = pickle.loads(pickle.dumps(r.rle_by_axis[2]))
+        o, c = rle.decode_slice(0)  # lazily re-creates the cache
+        assert rle.slice_cache.misses >= 1
+        ref_o, ref_c = r.rle_by_axis[2].decode_slice(0)
+        assert np.array_equal(o, ref_o)
+
+
+class TestMPRenderPool:
+    @pytest.fixture(scope="class")
+    def renderer(self):
+        return ShearWarpRenderer(mri_brain((20, 20, 16)), mri_transfer_function())
+
+    def test_animation_bit_exact(self, renderer):
+        views = [renderer.view_from_angles(20, 30 + 5 * i, 0) for i in range(4)]
+        refs = [renderer.render(v) for v in views]
+        with MPRenderPool(renderer, n_procs=2, kernel="block") as pool:
+            results = [pool.render(v) for v in views]
+        for res, ref in zip(results, refs):
+            assert np.array_equal(res.final.color, ref.final.color)
+            assert np.array_equal(res.final.alpha, ref.final.alpha)
+            assert np.array_equal(res.intermediate.opacity, ref.intermediate.opacity)
+
+    def test_pipelined_submit_out_of_order_results(self, renderer):
+        views = [renderer.view_from_angles(10, 15 * i, 0) for i in range(3)]
+        refs = [renderer.render(v) for v in views]
+        with MPRenderPool(renderer, n_procs=2, buffers=2) as pool:
+            handles = [pool.submit(v) for v in views]
+            out = {h: pool.result(h) for h in reversed(handles)}
+        for h, ref in zip(handles, refs):
+            assert np.array_equal(out[h].final.color, ref.final.color)
+
+    def test_scanline_kernel_parity(self, renderer):
+        view = renderer.view_from_angles(25, -10, 5)
+        ref = renderer.render(view)
+        with MPRenderPool(renderer, n_procs=3, kernel="scanline", buffers=1) as pool:
+            res = pool.render(view)
+        assert np.array_equal(res.final.color, ref.final.color)
+
+    def test_one_shot_wrapper_matches(self, renderer):
+        view = renderer.view_from_angles(20, 30, 0)
+        ref = renderer.render(view)
+        res = render_parallel_mp(renderer, view, n_procs=2)
+        assert np.array_equal(res.final.color, ref.final.color)
+        assert res.n_procs == 2
+
+    def test_validation(self, renderer):
+        with pytest.raises(ValueError):
+            MPRenderPool(renderer, n_procs=0)
+        with pytest.raises(ValueError):
+            MPRenderPool(renderer, kernel="nope")
+        with pytest.raises(ValueError):
+            MPRenderPool(renderer, buffers=0)
+        with pytest.raises(RuntimeError):
+            with MPRenderPool(renderer, n_procs=1) as pool:
+                pool.close()
+                pool.submit(np.eye(4))
+
+
+class TestBlockKernelFrames:
+    """The core renderers' kernel knob: same frames, no traces."""
+
+    @pytest.fixture(scope="class")
+    def renderer(self):
+        return ShearWarpRenderer(mri_brain((20, 20, 16)), mri_transfer_function())
+
+    @pytest.mark.parametrize("algorithm", ["old", "new"])
+    def test_frames_match_scanline_kernel(self, renderer, algorithm):
+        from repro.core.new_renderer import NewParallelShearWarp
+        from repro.core.old_renderer import OldParallelShearWarp
+
+        cls = OldParallelShearWarp if algorithm == "old" else NewParallelShearWarp
+        fs = cls(renderer, 2)
+        fb = cls(renderer, 2, kernel="block")
+        for i in range(2):
+            view = renderer.view_from_angles(20, 30 + 3 * i, 0)
+            a, b = fs.render_frame(view), fb.render_frame(view)
+            assert np.array_equal(a.final.color, b.final.color)
+            assert np.array_equal(a.intermediate.opacity, b.intermediate.opacity)
+            assert b.kernel == "block"
+            assert all(t.trace == [] for t in b.composite_units.values())
+            for uid, rec in a.composite_units.items():
+                brec = b.composite_units[uid]
+                assert rec.cost == brec.cost
+                for f in COUNTER_FIELDS:
+                    assert getattr(rec.counters, f) == getattr(brec.counters, f)
+
+    def test_block_frames_refuse_simulation(self, renderer):
+        from repro.core.new_renderer import NewParallelShearWarp
+        from repro.memsim.machine import MACHINES
+        from repro.parallel.execution import simulate_frame
+
+        frame = NewParallelShearWarp(renderer, 2, kernel="block").render_frame(
+            renderer.view_from_angles(20, 30, 0)
+        )
+        with pytest.raises(ValueError, match="block"):
+            simulate_frame(frame, MACHINES["dash"]())
+
+    def test_harness_simulate_guard(self):
+        from repro.analysis.harness import simulate
+
+        with pytest.raises(ValueError, match="scanline"):
+            simulate("mri128", "new", "dash", 2, scale=0.1, kernel="block")
