@@ -1,0 +1,163 @@
+"""Uniform vs profile-balanced partitioning in the real worker pool.
+
+The paper's central claim (sections 4.2-4.3) is that sizing each
+processor's contiguous scanline block from a measured per-scanline cost
+profile removes the load imbalance a uniform split suffers on skewed
+views.  This benchmark measures that claim on the *real*
+``multiprocessing`` backend with a deliberately lopsided input: the
+:func:`repro.datasets.density_wedge` phantom, whose material occupancy
+(and hence per-scanline compositing cost) ramps steeply across
+scanlines.
+
+A short rotation animation is rendered twice through
+:class:`repro.parallel.MPRenderPool` — once with ``profile_period=0``
+(always-uniform split) and once with the profile feedback loop on — and
+for every frame the pool reports each worker's busy time (compositing +
+warp, barrier waits excluded).  Reported per mode:
+
+* wall-clock seconds for the whole animation;
+* per-worker busy-time *spread*, ``(max - min) / mean``, averaged over
+  the frames rendered from a measured profile (the first frame of each
+  run is profile-less by construction and excluded);
+* bit-identity of the two modes' images (the partition only moves work
+  between workers, never changes the arithmetic).
+
+Results go to ``benchmarks/results/BENCH_adaptive.json``.  The non-smoke
+run fails if the adaptive spread is not below the uniform spread.
+
+Run:  python benchmarks/bench_adaptive.py [--smoke] [--procs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from common import RESULTS_DIR  # noqa: E402
+
+from repro.datasets import density_wedge  # noqa: E402
+from repro.parallel.mp_backend import MPRenderPool  # noqa: E402
+from repro.render import ShearWarpRenderer  # noqa: E402
+from repro.volume import mri_transfer_function  # noqa: E402
+
+SHAPE = (48, 48, 32)
+SMOKE_SHAPE = (24, 24, 16)
+PROFILE_PERIOD = 4
+
+
+def run_animation(
+    renderer: ShearWarpRenderer,
+    views: list[np.ndarray],
+    n_procs: int,
+    profile_period: int,
+    kernel: str,
+) -> dict:
+    """Render the animation once; return timings, spreads and images."""
+    with MPRenderPool(renderer, n_procs=n_procs, kernel=kernel,
+                      profile_period=profile_period) as pool:
+        pool.render(views[0])  # warm up fork + first slice decodes
+        t0 = time.perf_counter()
+        handles = [pool.submit(v) for v in views]
+        results = [pool.result(h) for h in handles]
+        wall = time.perf_counter() - t0
+
+    spreads = []
+    for res in results[1:]:  # frame 0 never has a profile to use yet
+        busy = res.busy_s
+        if busy is not None and busy.mean() > 0:
+            spreads.append(float((busy.max() - busy.min()) / busy.mean()))
+    return {
+        "wall_s": wall,
+        "ms_per_frame": wall / len(views) * 1e3,
+        "busy_spread_mean": float(np.mean(spreads)),
+        "busy_spread_per_frame": [round(s, 4) for s in spreads],
+        "boundaries_last": [int(b) for b in results[-1].boundaries],
+        "images": [(r.final.color, r.final.alpha) for r in results],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small volume, short animation (CI smoke test)")
+    parser.add_argument("--procs", type=int, default=4)
+    parser.add_argument("--frames", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    shape = SMOKE_SHAPE if args.smoke else SHAPE
+    n_frames = args.frames if args.frames else (5 if args.smoke else 12)
+    renderer = ShearWarpRenderer(density_wedge(shape), mri_transfer_function())
+    # Rotation stays well inside one principal-axis octant: an axis
+    # switch (correctly) invalidates the profile mid-animation, which is
+    # a separate behavior from the steady-state balance measured here.
+    views = [renderer.view_from_angles(18, 8 + 2.5 * i, 0) for i in range(n_frames)]
+
+    report = {
+        "benchmark": "adaptive_partition",
+        "smoke": args.smoke,
+        "host_cpus": os.cpu_count(),
+        "phantom": {"name": "density_wedge", "shape": list(shape)},
+        "n_procs": args.procs,
+        "n_frames": n_frames,
+        "profile_period": PROFILE_PERIOD,
+        "kernels": {},
+    }
+    print(f"density_wedge {shape}, {args.procs} workers, {n_frames} frames "
+          f"(profile period {PROFILE_PERIOD}):")
+    ok = True
+    for kernel in ("scanline", "block"):
+        uniform = run_animation(renderer, views, args.procs,
+                                profile_period=0, kernel=kernel)
+        adaptive = run_animation(renderer, views, args.procs,
+                                 profile_period=PROFILE_PERIOD, kernel=kernel)
+        exact = all(
+            np.array_equal(cu, ca) and np.array_equal(au, aa)
+            for (cu, au), (ca, aa) in zip(uniform.pop("images"),
+                                          adaptive.pop("images"))
+        )
+        improved = adaptive["busy_spread_mean"] < uniform["busy_spread_mean"]
+        report["kernels"][kernel] = {
+            "uniform": {k: round(v, 4) if isinstance(v, float) else v
+                        for k, v in uniform.items()},
+            "adaptive": {k: round(v, 4) if isinstance(v, float) else v
+                         for k, v in adaptive.items()},
+            "exact_equal": exact,
+            "spread_improved": improved,
+        }
+        for mode, row in (("uniform", uniform), ("adaptive", adaptive)):
+            print(f"  {kernel:8s} {mode:8s}: {row['ms_per_frame']:7.1f} ms/frame, "
+                  f"busy spread (max-min)/mean = {row['busy_spread_mean']:.3f}, "
+                  f"last boundaries {row['boundaries_last']}")
+        print(f"  {kernel:8s} images bit-identical: {exact}; "
+              f"spread reduced: {improved}")
+        ok &= exact
+        # The scanline kernel's per-scanline costs mirror the paper's
+        # granularity, so its spread reduction is the enforced claim; the
+        # block kernel's inherent imbalance is far smaller (vectorized
+        # per-slice work dominates), so its spread is recorded only.
+        if not args.smoke and kernel == "scanline":
+            ok &= improved
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    out_path = os.path.join(RESULTS_DIR, "BENCH_adaptive.json")
+    with open(out_path, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(f"wrote {out_path}")
+
+    if not ok:
+        print("FAILED: bit-identity or scanline spread criterion not met",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

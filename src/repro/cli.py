@@ -43,12 +43,33 @@ def _cmd_render(args: argparse.Namespace) -> int:
 
     renderer = get_renderer(args.dataset, args.scale)
     view = renderer.view_from_angles(args.rx, args.ry, args.rz)
+    frames = max(1, args.frames)
     t0 = time.perf_counter()
-    if args.procs > 1:
+    if frames > 1:
+        # Animation through a persistent pool: this is the path where
+        # --profile-period matters (profiles measured on one frame
+        # balance the partitions of the following frames).
+        from .parallel.mp_backend import MPRenderPool
+
+        views = [renderer.view_from_angles(args.rx, args.ry + i * args.ry_step,
+                                           args.rz)
+                 for i in range(frames)]
+        with MPRenderPool(renderer, n_procs=max(1, args.procs),
+                          kernel=args.kernel,
+                          profile_period=args.profile_period) as pool:
+            handles = [pool.submit(v) for v in views]
+            results = [pool.result(h) for h in handles]
+        result = results[-1]
+        split = (f"profile-balanced k={args.profile_period}"
+                 if args.profile_period > 0 else "uniform split")
+        how = (f"{frames} frames, {max(1, args.procs)} procs, "
+               f"{args.kernel} kernel, {split}")
+    elif args.procs > 1:
         from .parallel.mp_backend import render_parallel_mp
 
         result = render_parallel_mp(renderer, view, n_procs=args.procs,
-                                    kernel=args.kernel)
+                                    kernel=args.kernel,
+                                    profile_period=args.profile_period)
         how = f"{args.procs} procs, {args.kernel} kernel"
     elif args.kernel == "scanline":
         result = renderer.render(view)
@@ -56,11 +77,11 @@ def _cmd_render(args: argparse.Namespace) -> int:
     else:
         result = render_fast(renderer, view)
         how = "serial, block kernel"
-    dt = time.perf_counter() - t0
+    dt = (time.perf_counter() - t0) / frames
     print(f"rendered {args.dataset} proxy {renderer.shape} -> "
           f"final image {result.final.shape}, "
           f"alpha mass {result.final.alpha.sum():.0f} "
-          f"({how}, {dt * 1e3:.1f} ms)")
+          f"({how}, {dt * 1e3:.1f} ms/frame)")
     if args.out:
         np.savez_compressed(args.out, color=result.final.color,
                             alpha=result.final.alpha)
@@ -102,6 +123,15 @@ def main(argv: list[str] | None = None) -> int:
                    help="worker processes (>1 uses the shared-memory backend)")
     p.add_argument("--kernel", default="block", choices=["scanline", "block"],
                    help="compositing kernel (scanline = instrumented reference)")
+    p.add_argument("--frames", type=int, default=1,
+                   help="render an animation of this many frames through a "
+                        "persistent worker pool (rotating by --ry-step)")
+    p.add_argument("--ry-step", type=float, default=3.0,
+                   help="per-frame y-rotation increment for --frames > 1")
+    p.add_argument("--profile-period", type=int, default=5,
+                   help="re-profile every k frames and balance partitions "
+                        "from the measured per-scanline costs (paper "
+                        "section 4.2-4.3); 0 = uniform split")
     p.add_argument("--out", default=None, help="save image arrays to .npz")
 
     p = sub.add_parser("speedup", help="old-vs-new speedup curve on one machine")

@@ -102,11 +102,20 @@ def contiguous_partition(profile: np.ndarray, n_procs: int, v_lo: int = 0) -> np
     bounds[0] = 0
     bounds[1:-1] = pick + 1
     bounds[-1] = n
-    # Enforce monotonicity (non-starving) when profiles are very skewed.
+    # Enforce monotonicity when profiles are very skewed: push each
+    # boundary past its predecessor from the left...
     for p in range(1, n_procs):
         bounds[p] = max(bounds[p], bounds[p - 1] + 1) if bounds[p - 1] < n else n
         bounds[p] = min(bounds[p], n)
-    bounds = np.minimum(bounds, n)
+    # ...then clamp from the right so boundary p leaves at least one
+    # scanline for each of the n_procs - p partitions after it.  With
+    # all the mass at the end of the profile the left-to-right pass
+    # alone yields e.g. sizes [9 1 0 0], starving the trailing
+    # processors; after this pass every partition is non-empty whenever
+    # n >= n_procs.
+    if n >= n_procs:
+        for p in range(n_procs - 1, 0, -1):
+            bounds[p] = min(bounds[p], n - (n_procs - p))
     return bounds + v_lo
 
 

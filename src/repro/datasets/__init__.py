@@ -1,7 +1,14 @@
 """Synthetic volume data sets standing in for the paper's MRI/CT scans."""
 
 from .io import load_den, load_volume, save_den, save_volume
-from .phantoms import ct_head, empty_volume, mri_brain, random_blobs, solid_sphere
+from .phantoms import (
+    ct_head,
+    density_wedge,
+    empty_volume,
+    mri_brain,
+    random_blobs,
+    solid_sphere,
+)
 from .registry import PAPER_DATASETS, DatasetSpec, load, proxy_shape
 from .resample import downsample, resample, upsample
 
@@ -11,6 +18,7 @@ __all__ = [
     "save_den",
     "save_volume",
     "ct_head",
+    "density_wedge",
     "empty_volume",
     "mri_brain",
     "random_blobs",

@@ -25,7 +25,14 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["mri_brain", "ct_head", "solid_sphere", "empty_volume", "random_blobs"]
+__all__ = [
+    "mri_brain",
+    "ct_head",
+    "solid_sphere",
+    "empty_volume",
+    "random_blobs",
+    "density_wedge",
+]
 
 
 def _coord_grids(shape: tuple[int, int, int]) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -146,3 +153,34 @@ def random_blobs(shape: tuple[int, int, int] = (32, 32, 32), density: float = 0.
     mask = n > np.quantile(n, 1.0 - density)
     vol[mask] = (100 + 120 * n[mask]).astype(np.uint8)
     return vol
+
+
+def density_wedge(
+    shape: tuple[int, int, int] = (48, 48, 32),
+    seed: int = 11,
+    exponent: float = 2.0,
+) -> np.ndarray:
+    """Skewed-load phantom: material occupancy ramps steeply along ``+y``.
+
+    Inside a near-full ellipsoidal body, the probability that a voxel
+    holds (semi-transparent) material grows as ``((y+1)/2)**exponent``
+    — a thin sprinkle at one end, nearly solid at the other.  With the
+    standard MRI transfer function the material stays semi-transparent,
+    so per-scanline compositing cost tracks occupancy instead of
+    saturating: the per-scanline cost profile is maximally lopsided.
+    This is the worst case for a uniform contiguous scanline split and
+    the showcase input for the profile-balanced partitioner (it is also
+    the load shape that starved trailing processors in
+    ``contiguous_partition`` before boundaries were clamped from the
+    right).
+    """
+    x, y, z = _coord_grids(shape)
+    rng = np.random.default_rng(seed)
+    body = np.broadcast_to(
+        (x / 0.95) ** 2 + (y / 0.98) ** 2 + (z / 0.95) ** 2 < 1.0, shape
+    )
+    ramp = ((y + 1.0) / 2.0) ** exponent
+    occupied = rng.random(shape) < np.broadcast_to(0.02 + 0.96 * ramp, shape)
+    texture = _smooth_noise(shape, rng, cells=7)
+    vol = np.where(body & occupied, 115.0 + 30.0 * texture, 0.0)
+    return np.clip(vol, 0, 255).astype(np.uint8)

@@ -20,6 +20,20 @@ per-scanline Python overhead the paper's processors never had does not
 throttle the measured speedup; ``kernel="scanline"`` selects the
 instrumented reference kernel instead (bit-identical output either way).
 
+The pool runs the paper's profile feedback loop (sections 4.2-4.3) for
+real: on frames a :class:`~repro.core.profiling.ProfileSchedule` marks
+for profiling, each worker collapses its partition's per-row work
+counters into per-scanline costs and ships them back with its done
+message; the parent assembles a
+:class:`~repro.core.profiling.ScanlineProfile` and partitions subsequent
+frames with :func:`~repro.core.partition.contiguous_partition` over that
+profile instead of the uniform split.  The same boundaries drive
+warp-row ownership (section 4.5), and the profile is invalidated when
+the principal axis / permutation changes (the intermediate-image
+scanline coordinates it was measured in no longer exist).
+``profile_period=0`` disables the loop (always-uniform partitions);
+either way the images are bit-identical, only the load balance moves.
+
 On a single-core host this still runs correctly (and is exercised by the
 test suite); the wall-clock speedup study is
 ``examples/multicore_speedup.py``.
@@ -29,15 +43,27 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import queue as queue_mod
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 
 import numpy as np
 
-from ..core.partition import line_ownership, uniform_contiguous_partition
-from ..render.block import composite_scanline_block
+from ..core.partition import (
+    contiguous_partition,
+    line_ownership,
+    uniform_contiguous_partition,
+)
+from ..core.profiling import (
+    ProfileSchedule,
+    ScanlineProfile,
+    scanline_cost,
+    scanline_cost_rows,
+)
+from ..render.block import BlockRowCounters, composite_scanline_block
 from ..render.compositing import composite_image_scanline, nonempty_scanline_bounds
 from ..render.image import FinalImage, IntermediateImage
+from ..render.instrument import WorkCounters
 from ..render.serial import ShearWarpRenderer
 from ..render.warp import final_pixel_source_lines, warp_scanline
 from ..transforms.factorization import PERMUTATIONS, ShearWarpFactorization
@@ -56,12 +82,21 @@ _G: dict = {}
 
 @dataclass
 class MPRenderResult:
-    """Output of a real parallel render."""
+    """Output of a real parallel render.
+
+    Besides the images, the pool reports how the frame was split and how
+    long each worker actually computed (``busy_s[pid]``, compositing +
+    warp CPU time, barrier waits excluded) — the observables the
+    paper's load-balance evaluation is built on.
+    """
 
     final: FinalImage
     intermediate: IntermediateImage
     fact: ShearWarpFactorization
     n_procs: int
+    boundaries: np.ndarray | None = None
+    profiled: bool = False
+    busy_s: np.ndarray | None = field(default=None, repr=False)
 
 
 def _capacity_shapes(
@@ -101,8 +136,14 @@ def _worker_loop(pid: int) -> None:
         job = jobs.get()
         if job is None:
             return
-        frame, buf, fact, v_lo, v_hi, owner, warp_rows = job
+        frame, buf, fact, v_lo, v_hi, owner, warp_rows, profiled = job
         err: str | None = None
+        costs: np.ndarray | None = None
+        t_comp = t_warp = 0.0
+        # CPU time, not wall clock: on an oversubscribed host a worker's
+        # wall time includes slices it spent descheduled, which would
+        # poison both the profile and the busy-time report.
+        t0 = time.process_time()
         try:
             n_v, n_u = fact.intermediate_shape
             ny, nx = fact.final_shape
@@ -122,15 +163,33 @@ def _worker_loop(pid: int) -> None:
             try:
                 rle = renderer.rle_for(fact)
                 if kernel == "block":
-                    composite_scanline_block(img, v_lo, v_hi, rle, fact)
+                    if profiled:
+                        rows = BlockRowCounters(v_lo, v_hi)
+                        composite_scanline_block(img, v_lo, v_hi, rle, fact,
+                                                 row_counters=rows)
+                        costs = scanline_cost_rows(rows)
+                    else:
+                        composite_scanline_block(img, v_lo, v_hi, rle, fact)
                 else:
+                    if profiled:
+                        costs = np.zeros(max(0, v_hi - v_lo), dtype=np.float64)
                     for v in range(v_lo, v_hi):
-                        composite_image_scanline(img, v, rle, fact)
+                        if costs is not None:
+                            counters = WorkCounters()
+                            composite_image_scanline(img, v, rle, fact,
+                                                     counters=counters)
+                            costs[v - v_lo] = scanline_cost(counters)
+                        else:
+                            composite_image_scanline(img, v, rle, fact)
             finally:
+                # Busy time stops at the barrier: the wait measures the
+                # *imbalance*, not this worker's work.
+                t_comp = time.process_time() - t0
                 # Siblings block on this barrier no matter what happened
                 # above — reaching it even on error prevents a deadlock.
                 barrier.wait()
 
+            t1 = time.process_time()
             final = FinalImage((ny, nx))
             final.color = np.ndarray(
                 (cap_fy, cap_fx), np.float32, buffer=shm_f.buf, offset=base_f * 4
@@ -141,9 +200,11 @@ def _worker_loop(pid: int) -> None:
             )[:ny, :nx]
             for y in warp_rows:
                 warp_scanline(final, y, img, fact, line_owner=owner, pid=pid)
+            t_warp = time.process_time() - t1
         except Exception as exc:  # noqa: BLE001 - forwarded to the parent
             err = f"{type(exc).__name__}: {exc}"
-        done.put((pid, frame, err))
+            costs = None
+        done.put((pid, frame, err, int(v_lo), costs, t_comp, t_warp))
 
 
 class MPRenderPool:
@@ -166,6 +227,13 @@ class MPRenderPool:
         default), ``submit`` of frame ``n+1`` only waits for frame
         ``n-1``, overlapping the parent's zeroing/copy-out with the
         workers' compositing of the previous frame.
+    profile_period:
+        Re-profile every this many frames (the paper's ``k``, section
+        4.2); frames in between are partitioned from the last measured
+        profile.  ``0`` disables profiling entirely — every frame gets
+        the uniform equal-count split.  The partition only changes *who
+        composites which scanlines*, so the images are bit-identical
+        across settings.
     """
 
     def __init__(
@@ -174,6 +242,7 @@ class MPRenderPool:
         n_procs: int = 2,
         kernel: str = "block",
         buffers: int = 2,
+        profile_period: int = 5,
     ) -> None:
         if n_procs < 1:
             raise ValueError("need at least one worker")
@@ -181,6 +250,8 @@ class MPRenderPool:
             raise ValueError(f"kernel must be one of {COMPOSITE_KERNELS}, got {kernel!r}")
         if buffers < 1:
             raise ValueError("need at least one image buffer")
+        if profile_period < 0:
+            raise ValueError("profile_period must be >= 0 (0 disables profiling)")
         if mp.get_start_method(allow_none=True) not in (None, "fork"):
             raise RuntimeError("MPRenderPool requires the fork start method")
 
@@ -188,6 +259,16 @@ class MPRenderPool:
         self.n_procs = int(n_procs)
         self.kernel = kernel
         self.buffers = int(buffers)
+        self.profile_period = int(profile_period)
+        self._schedule = (
+            ProfileSchedule(period=self.profile_period)
+            if self.profile_period > 0 else None
+        )
+        # Last assembled profile and the (axis, perm) it was measured
+        # under — a principal-axis switch changes the intermediate-image
+        # coordinate system, so the profile stops predicting anything.
+        self._profile: ScanlineProfile | None = None
+        self._profile_key: tuple[int, tuple[int, int, int]] | None = None
         self.inter_cap, self.final_cap = _capacity_shapes(renderer.shape)
         cap_iv, cap_iu = self.inter_cap
         cap_fy, cap_fx = self.final_cap
@@ -235,8 +316,12 @@ class MPRenderPool:
             _G.clear()
 
         self._next_frame = 0
-        self._inflight: dict[int, dict] = {}  # frame -> {buf, fact}
+        self._inflight: dict[int, dict] = {}  # frame -> per-frame record
         self._results: dict[int, MPRenderResult] = {}
+        # Frames that completed with worker errors: frame -> error list.
+        # Each frame's errors are raised only from its own result() call,
+        # never from a sibling's collect.
+        self._failed: dict[int, list[str]] = {}
         # Per-buffer state: the frame occupying it and the image shapes
         # its last occupant dirtied (so reuse only zeroes those regions).
         self._buf_frame: list[int | None] = [None] * self.buffers
@@ -251,7 +336,9 @@ class MPRenderPool:
         """Dispatch one frame to the workers; returns its frame id.
 
         Blocks only if every buffer is still occupied by an unfinished
-        frame (with ``buffers=2`` that means two frames behind).
+        frame (with ``buffers=2`` that means two frames behind).  The
+        partition is profile-balanced whenever a valid profile from an
+        earlier frame exists, uniform otherwise.
         """
         if self._closed:
             raise RuntimeError("pool is closed")
@@ -264,19 +351,20 @@ class MPRenderPool:
                 f"{self.inter_cap}/{self.final_cap} — is the view matrix scaled?"
             )
 
-        frame = self._next_frame
-        self._next_frame += 1
-        buf = frame % self.buffers
-        prev = self._buf_frame[buf]
-        if prev is not None and prev in self._inflight:
-            self._collect(prev)  # materialises into self._results
-        self._zero_buffer(buf)
-        self._buf_frame[buf] = frame
-        self._buf_dirty[buf] = ((n_v, n_u), (ny, nx))
-
         rle = self.renderer.rle_for(fact)
         v_lo, v_hi = nonempty_scanline_bounds(rle, fact)
-        boundaries = uniform_contiguous_partition(v_lo, v_hi, self.n_procs)
+
+        # Pick up any frames (and their profiles) that finished while the
+        # parent was elsewhere, so pipelined submits see the freshest
+        # profile without blocking.
+        self._drain_done()
+        if self._profile is not None and self._profile_key != (fact.axis, fact.perm):
+            self._profile = None
+        profiled = False
+        if self._schedule is not None:
+            profiled = self._schedule.should_profile() or self._profile is None
+            self._schedule.advance()
+        boundaries = self._partition(v_lo, v_hi)
         owner = line_ownership(boundaries, n_v)
         src_lines = final_pixel_source_lines((ny, nx), fact)
         rows_by_pid: list[list[int]] = [[] for _ in range(self.n_procs)]
@@ -285,6 +373,20 @@ class MPRenderPool:
             vmax = min(max(int(src_lines[y, 1]), vmin + 1), n_v)
             for pid in np.unique(owner[vmin:vmax]):
                 rows_by_pid[int(pid)].append(y)
+
+        # Everything fallible is done — only now claim a frame id and a
+        # buffer, so a failed submit leaves no bookkeeping behind (no
+        # consumed id, no buffer marked occupied/dirty by a frame that
+        # was never queued).
+        frame = self._next_frame
+        buf = frame % self.buffers
+        prev = self._buf_frame[buf]
+        if prev is not None and prev in self._inflight:
+            self._collect(prev)  # materialises into _results / _failed
+        self._next_frame += 1
+        self._zero_buffer(buf)
+        self._buf_frame[buf] = frame
+        self._buf_dirty[buf] = ((n_v, n_u), (ny, nx))
 
         for pid in range(self.n_procs):
             self._job_queues[pid].put(
@@ -296,59 +398,133 @@ class MPRenderPool:
                     int(boundaries[pid + 1]),
                     owner,
                     rows_by_pid[pid],
+                    profiled,
                 )
             )
-        self._inflight[frame] = {"buf": buf, "fact": fact}
+        self._inflight[frame] = {
+            "buf": buf,
+            "fact": fact,
+            "done": 0,
+            "errors": [],
+            "profiled": profiled,
+            "v_lo": v_lo,
+            "v_hi": v_hi,
+            "costs": None,
+            "busy": np.zeros(self.n_procs, dtype=np.float64),
+            "boundaries": boundaries,
+            "key": (fact.axis, fact.perm),
+        }
         return frame
 
+    def _partition(self, v_lo: int, v_hi: int) -> np.ndarray:
+        """Contiguous boundaries for the next frame (section 4.3).
+
+        The profile is in the frame-it-was-measured-on's scanline
+        coordinates; successive animation viewpoints differ by a few
+        degrees, so reusing the indices is the paper's prediction step.
+        Boundaries are clamped to this frame's non-empty band.
+        """
+        prof = self._profile
+        if prof is None or prof.total <= 0:
+            return uniform_contiguous_partition(v_lo, v_hi, self.n_procs)
+        prof = prof.trim_empty()
+        if len(prof.costs) < self.n_procs:
+            return uniform_contiguous_partition(v_lo, v_hi, self.n_procs)
+        bounds = contiguous_partition(prof.costs, self.n_procs, v_lo=prof.v_lo)
+        bounds = np.clip(bounds, v_lo, v_hi)
+        bounds[0], bounds[-1] = v_lo, v_hi
+        for p in range(1, self.n_procs + 1):
+            bounds[p] = max(bounds[p], bounds[p - 1])
+        return bounds
+
     def result(self, frame: int) -> MPRenderResult:
-        """Wait for ``frame`` and return its images (copies)."""
+        """Wait for ``frame`` and return its images (copies).
+
+        Raises the frame's *own* worker errors (and only those): errors
+        of sibling frames collected along the way are stored and
+        surfaced from their own ``result`` calls.
+        """
+        if frame in self._inflight:
+            self._collect(frame)
+        if frame in self._failed:
+            raise RuntimeError("; ".join(self._failed.pop(frame)))
         if frame in self._results:
             return self._results.pop(frame)
-        if frame not in self._inflight:
-            raise KeyError(f"unknown frame {frame}")
-        self._collect(frame)
-        return self._results.pop(frame)
+        raise KeyError(f"unknown frame {frame}")
 
     def render(self, view: np.ndarray) -> MPRenderResult:
         """Render one frame synchronously."""
         return self.result(self.submit(view))
 
     def _collect(self, frame: int) -> None:
-        """Drain done messages until ``frame`` completes, then copy it out."""
-        info = self._inflight[frame]
-        info.setdefault("done", 0)
-        errors: list[str] = []
-        while info["done"] < self.n_procs:
+        """Drain done messages until ``frame`` completes (either way)."""
+        while frame in self._inflight:
             try:
-                pid, done_frame, err = self._done_queue.get(timeout=1.0)
+                msg = self._done_queue.get(timeout=1.0)
             except queue_mod.Empty:
                 dead = [w.pid for w in self._workers if not w.is_alive()]
                 if dead:
                     raise RuntimeError(f"render worker(s) {dead} died") from None
                 continue
-            rec = self._inflight.get(done_frame)
-            if rec is None:
-                continue
-            rec.setdefault("done", 0)
-            rec["done"] += 1
-            if err is not None:
-                rec.setdefault("errors", []).append(f"worker {pid}: {err}")
-            if rec is not info and rec["done"] >= self.n_procs:
-                self._materialize(done_frame)
-        errors = info.get("errors", [])
-        if errors:
+            self._handle_done(msg)
+
+    def _drain_done(self) -> None:
+        """Absorb already-delivered done messages without blocking."""
+        while True:
+            try:
+                msg = self._done_queue.get_nowait()
+            except queue_mod.Empty:
+                return
+            self._handle_done(msg)
+
+    def _handle_done(self, msg: tuple) -> None:
+        """Account one worker's done message to its frame's record."""
+        pid, frame, err, part_lo, costs, t_comp, t_warp = msg
+        rec = self._inflight.get(frame)
+        if rec is None:
+            return
+        rec["done"] += 1
+        rec["busy"][pid] = t_comp + t_warp
+        if err is not None:
+            rec["errors"].append(f"worker {pid}: {err}")
+        elif costs is not None and len(costs):
+            if rec["costs"] is None:
+                rec["costs"] = np.zeros(
+                    max(0, rec["v_hi"] - rec["v_lo"]), dtype=np.float64
+                )
+            # Calibrate the op-count profile to measured *time*, which is
+            # what the partition must balance (the paper's native profile
+            # is elapsed time too): scale this worker's fragment so it
+            # sums to its compositing CPU time, then spread its warp CPU
+            # time evenly over its scanlines — warp rows follow scanline
+            # ownership, so warp load moves with the boundaries.
+            frag = np.asarray(costs, dtype=np.float64)
+            total = frag.sum()
+            if total > 0 and t_comp > 0:
+                frag = frag * (t_comp / total)
+            frag = frag + t_warp / len(frag)
+            lo = part_lo - rec["v_lo"]
+            rec["costs"][lo:lo + len(frag)] = frag
+        if rec["done"] >= self.n_procs:
+            self._finish(frame)
+
+    def _finish(self, frame: int) -> None:
+        """All workers reported: record failure or materialise the frame."""
+        rec = self._inflight[frame]
+        if rec["errors"]:
+            # The frame's buffer regions stay marked dirty, so reuse
+            # zeroes whatever the workers managed to write.
             del self._inflight[frame]
-            raise RuntimeError("; ".join(errors))
+            self._failed[frame] = list(rec["errors"])
+            return
+        if rec["profiled"] and rec["costs"] is not None:
+            self._profile = ScanlineProfile(rec["v_lo"], rec["costs"])
+            self._profile_key = rec["key"]
         self._materialize(frame)
 
     def _materialize(self, frame: int) -> None:
         """Copy a completed frame out of its shared buffer."""
         info = self._inflight.pop(frame)
-        if info.get("errors"):
-            # A sibling error frame collected out of band: surface it
-            # when (if ever) its result is requested.
-            raise RuntimeError("; ".join(info["errors"]))
         fact: ShearWarpFactorization = info["fact"]
         buf = info["buf"]
         n_v, n_u = fact.intermediate_shape
@@ -360,7 +536,13 @@ class MPRenderPool:
         final.color = self._final_view(buf, 0)[:ny, :nx].copy()
         final.alpha = self._final_view(buf, 1)[:ny, :nx].copy()
         self._results[frame] = MPRenderResult(
-            final=final, intermediate=img, fact=fact, n_procs=self.n_procs
+            final=final,
+            intermediate=img,
+            fact=fact,
+            n_procs=self.n_procs,
+            boundaries=info["boundaries"],
+            profiled=info["profiled"],
+            busy_s=info["busy"],
         )
 
     # -- shared-buffer plumbing ----------------------------------------------
@@ -421,18 +603,26 @@ def render_parallel_mp(
     view: np.ndarray,
     n_procs: int = 2,
     kernel: str = "block",
+    profile_period: int = 0,
 ) -> MPRenderResult:
     """Render one frame with ``n_procs`` worker processes.
 
     Uses the *new* algorithm's structure: contiguous intermediate-image
-    partitions reused across both phases with the boundary-pair
-    ownership rule (a barrier separates the phases because, unlike the
-    simulated 1997 run, the partition here is uniform rather than
-    profile-balanced, so neighbors may need each other's boundary
-    lines).
+    partitions, profile-balanced via the pool's feedback loop when
+    ``profile_period > 0``, reused across both phases with the
+    boundary-pair ownership rule.  A barrier still separates the phases:
+    however the partition is balanced, a worker's warp rows bilinearly
+    sample the boundary scanline pair its neighbor composited, so the
+    warp may only start once compositing is complete everywhere.
 
-    One-shot convenience over :class:`MPRenderPool` — for animations,
-    keep a pool alive across frames instead.
+    One-shot convenience over :class:`MPRenderPool` — for animations
+    (where a measured profile actually has a next frame to balance),
+    keep a pool alive across frames instead.  ``profile_period``
+    defaults to 0 here because a single frame can never benefit from its
+    own profile.
     """
-    with MPRenderPool(renderer, n_procs=n_procs, kernel=kernel, buffers=1) as pool:
+    with MPRenderPool(
+        renderer, n_procs=n_procs, kernel=kernel, buffers=1,
+        profile_period=profile_period,
+    ) as pool:
         return pool.render(view)

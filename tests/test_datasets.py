@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 from repro.datasets import (
     PAPER_DATASETS,
     ct_head,
+    density_wedge,
     downsample,
     empty_volume,
     load,
@@ -62,6 +63,20 @@ class TestPhantoms:
         v = random_blobs((24, 24, 24), density=0.3)
         frac = np.mean(v > 0)
         assert 0.15 < frac < 0.45
+
+    def test_density_wedge_ramps_across_y(self):
+        """Occupancy (hence compositing cost) climbs steeply with y —
+        the skew the adaptive-partition benchmark relies on."""
+        v = density_wedge((32, 32, 24))
+        assert v.shape == (32, 32, 24) and v.dtype == np.uint8
+        lo = np.mean(v[:, :8] > 0)
+        hi = np.mean(v[:, -8:] > 0)
+        assert hi > 3 * lo > 0
+
+    def test_density_wedge_deterministic_per_seed(self):
+        a = density_wedge((16, 16, 12), seed=2)
+        b = density_wedge((16, 16, 12), seed=2)
+        assert np.array_equal(a, b)
 
 
 class TestResample:

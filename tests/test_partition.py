@@ -109,6 +109,43 @@ class TestContiguousPartition:
         with pytest.raises(ValueError):
             contiguous_partition(np.ones(10), 0)
 
+    def test_all_cost_in_last_line_no_starvation(self):
+        # Regression: with the whole cost in the final scanline the
+        # cumulative sum hits every cut target only at the last line, so
+        # the unclamped searchsorted boundaries all landed on n and the
+        # trailing processors got empty partitions.
+        profile = np.zeros(10)
+        profile[-1] = 100.0
+        bounds = contiguous_partition(profile, 4)
+        assert bounds[0] == 0 and bounds[-1] == 10
+        assert np.all(partition_sizes(bounds) >= 1)
+
+    def test_all_cost_in_last_line_with_offset(self):
+        profile = np.zeros(6)
+        profile[-1] = 1.0
+        bounds = contiguous_partition(profile, 3, v_lo=40)
+        assert bounds[0] == 40 and bounds[-1] == 46
+        assert np.all(partition_sizes(bounds) >= 1)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(1, 64),
+        procs=st.integers(1, 8),
+        seed=st.integers(0, 1000),
+    )
+    def test_never_starves_property(self, n, procs, seed):
+        """Whenever there are at least as many lines as processors, every
+        processor gets at least one line — for *any* non-negative profile,
+        including ones with all the cost concentrated at either end."""
+        rng = np.random.default_rng(seed)
+        profile = rng.random(n)
+        profile[rng.random(n) < 0.7] = 0.0  # mostly-zero, highly skewed
+        bounds = contiguous_partition(profile, procs)
+        assert bounds[0] == 0 and bounds[-1] == n
+        assert np.all(np.diff(bounds) >= 0)
+        if n >= procs:
+            assert np.all(partition_sizes(bounds) >= 1)
+
     @settings(max_examples=40, deadline=None)
     @given(
         n=st.integers(8, 300),
