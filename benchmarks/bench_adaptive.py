@@ -34,13 +34,12 @@ import argparse
 import json
 import os
 import sys
-import time
 
 import numpy as np
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from common import RESULTS_DIR  # noqa: E402
+from common import RESULTS_DIR, Stopwatch  # noqa: E402
 
 from repro.datasets import density_wedge  # noqa: E402
 from repro.parallel.mp_backend import MPRenderPool  # noqa: E402
@@ -63,16 +62,15 @@ def run_animation(
     with MPRenderPool(renderer, n_procs=n_procs, kernel=kernel,
                       profile_period=profile_period) as pool:
         pool.render(views[0])  # warm up fork + first slice decodes
-        t0 = time.perf_counter()
-        handles = [pool.submit(v) for v in views]
-        results = [pool.result(h) for h in handles]
-        wall = time.perf_counter() - t0
+        with Stopwatch() as sw:
+            handles = [pool.submit(v) for v in views]
+            results = [pool.result(h) for h in handles]
+        wall = sw.seconds
 
-    spreads = []
-    for res in results[1:]:  # frame 0 never has a profile to use yet
-        busy = res.busy_s
-        if busy is not None and busy.mean() > 0:
-            spreads.append(float((busy.max() - busy.min()) / busy.mean()))
+    # busy_spread is the shared (max-min)/mean imbalance scalar from
+    # repro.obs.metrics, surfaced per result by MPRenderResult.
+    spreads = [res.busy_spread for res in results[1:]  # frame 0 has no profile
+               if res.busy_s is not None and res.busy_s.mean() > 0]
     return {
         "wall_s": wall,
         "ms_per_frame": wall / len(views) * 1e3,

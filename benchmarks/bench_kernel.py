@@ -23,13 +23,12 @@ import argparse
 import json
 import os
 import sys
-import time
 
 import numpy as np
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from common import RESULTS_DIR  # noqa: E402
+from common import RESULTS_DIR, best_of  # noqa: E402
 
 from repro.datasets import ct_head, mri_brain  # noqa: E402
 from repro.parallel.mp_backend import MPRenderPool, render_parallel_mp  # noqa: E402
@@ -48,16 +47,6 @@ MRI_SHAPE = (64, 64, 42)
 CT_SHAPE = (64, 64, 64)
 SMOKE_MRI_SHAPE = (28, 28, 20)
 SMOKE_CT_SHAPE = (24, 24, 24)
-
-
-def _best_of(fn, reps: int) -> float:
-    """Best wall-clock seconds over ``reps`` runs (min filters host noise)."""
-    best = float("inf")
-    for _ in range(reps):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
 
 
 def bench_serial(renderer: ShearWarpRenderer, view: np.ndarray, reps: int) -> dict:
@@ -88,9 +77,9 @@ def bench_serial(renderer: ShearWarpRenderer, view: np.ndarray, reps: int) -> di
         and np.array_equal(ref.color, got.color)
     )
     times = {
-        "scanline": _best_of(run_scanline, reps),
-        "block": _best_of(run_block, reps),
-        "fast": _best_of(run_fast, reps),
+        "scanline": best_of(run_scanline, reps),
+        "block": best_of(run_block, reps),
+        "fast": best_of(run_fast, reps),
     }
     return {
         "composite_ms": {k: round(v * 1e3, 3) for k, v in times.items()},
@@ -109,7 +98,7 @@ def bench_mp(
     for n in procs:
         out[str(n)] = {}
         for kernel in ("scanline", "block"):
-            oneshot = _best_of(
+            oneshot = best_of(
                 lambda: render_parallel_mp(renderer, views[0], n_procs=n, kernel=kernel),
                 reps,
             )
@@ -121,7 +110,7 @@ def bench_mp(
                     for h in handles:
                         pool.result(h)
 
-                pooled = _best_of(run_animation, reps) / len(views)
+                pooled = best_of(run_animation, reps) / len(views)
             out[str(n)][kernel] = {
                 "oneshot_ms": round(oneshot * 1e3, 3),
                 "pooled_ms_per_frame": round(pooled * 1e3, 3),

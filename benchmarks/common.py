@@ -28,6 +28,7 @@ from repro.analysis.harness import (  # noqa: E402
     simulate,
     speedup_curve,
 )
+from repro.obs import Stopwatch, busy_spread  # noqa: E402,F401
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
 
@@ -91,6 +92,21 @@ def breakdown_table(
         f = rep.fractions()
         rows.append((p, 100 * f["busy"], 100 * f["memory"], 100 * f["sync"]))
     return format_table(headers, rows)
+
+
+def best_of(fn, reps: int) -> float:
+    """Best wall-clock seconds over ``reps`` runs (min filters host noise).
+
+    The one timing helper every wall-clock benchmark shares, backed by
+    :class:`repro.obs.Stopwatch` so they all use the same clock as the
+    tracing layer.
+    """
+    best = float("inf")
+    for _ in range(max(1, reps)):
+        with Stopwatch() as sw:
+            fn()
+        best = min(best, sw.seconds)
+    return best
 
 
 def one_round(fn):

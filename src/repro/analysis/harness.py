@@ -32,6 +32,7 @@ __all__ = [
     "ROTATION_STEP",
     "get_renderer",
     "record_frames",
+    "traced_frames",
     "steady_frame",
     "machine_for",
     "simulate",
@@ -111,6 +112,44 @@ def record_frames(
         )
         return tuple(factory.render_frame(v) for v in views)
     raise ValueError(f"unknown algorithm {algorithm!r}")
+
+
+def traced_frames(
+    dataset: str,
+    algorithm: str,
+    n_procs: int,
+    n_frames: int = 3,
+    scale: float = DEFAULT_SCALE,
+    kernel: str = "scanline",
+    profile_period: int = 5,
+):
+    """Record frames with wall-clock phase spans attached.
+
+    Like :func:`record_frames` but threads a
+    :class:`repro.obs.SpanRecorder` through the frame factory and
+    returns ``(frames, timelines)`` — one
+    :class:`repro.obs.FrameTimeline` per frame with native
+    decode/composite/profile/warp timings of the recording pass.  Not
+    memoized: the wall-clock spans are the output.
+    """
+    from ..obs import RingReader, SpanRecorder, assemble_timelines
+
+    recorder = SpanRecorder.in_memory()
+    reader = RingReader(recorder.cursor, recorder.records, pid=0)
+    renderer = get_renderer(dataset, scale)
+    views = _views(renderer, n_frames)
+    if algorithm == "old":
+        factory = OldParallelShearWarp(renderer, n_procs, kernel=kernel,
+                                       recorder=recorder)
+    elif algorithm == "new":
+        factory = NewParallelShearWarp(
+            renderer, n_procs, kernel=kernel, recorder=recorder,
+            profile_schedule=ProfileSchedule(period=profile_period),
+        )
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+    frames = tuple(factory.render_frame(v) for v in views)
+    return frames, assemble_timelines([reader])
 
 
 def steady_frame(

@@ -44,6 +44,7 @@ def _cmd_render(args: argparse.Namespace) -> int:
     renderer = get_renderer(args.dataset, args.scale)
     view = renderer.view_from_angles(args.rx, args.ry, args.rz)
     frames = max(1, args.frames)
+    tracing = bool(args.trace_out)
     t0 = time.perf_counter()
     if frames > 1:
         # Animation through a persistent pool: this is the path where
@@ -56,36 +57,105 @@ def _cmd_render(args: argparse.Namespace) -> int:
                  for i in range(frames)]
         with MPRenderPool(renderer, n_procs=max(1, args.procs),
                           kernel=args.kernel,
-                          profile_period=args.profile_period) as pool:
+                          profile_period=args.profile_period,
+                          trace=tracing) as pool:
             handles = [pool.submit(v) for v in views]
             results = [pool.result(h) for h in handles]
+            if tracing:
+                pool.export_chrome_trace(args.trace_out,
+                                         metadata={"dataset": args.dataset,
+                                                   "scale": args.scale})
         result = results[-1]
         split = (f"profile-balanced k={args.profile_period}"
                  if args.profile_period > 0 else "uniform split")
         how = (f"{frames} frames, {max(1, args.procs)} procs, "
                f"{args.kernel} kernel, {split}")
     elif args.procs > 1:
+        from .obs import export_chrome_trace
         from .parallel.mp_backend import render_parallel_mp
 
         result = render_parallel_mp(renderer, view, n_procs=args.procs,
                                     kernel=args.kernel,
-                                    profile_period=args.profile_period)
+                                    profile_period=args.profile_period,
+                                    trace=tracing)
+        if tracing:
+            export_chrome_trace(
+                args.trace_out,
+                [result.timeline] if result.timeline is not None else [],
+                metadata={"dataset": args.dataset, "scale": args.scale,
+                          "n_procs": args.procs, "kernel": args.kernel},
+            )
         how = f"{args.procs} procs, {args.kernel} kernel"
-    elif args.kernel == "scanline":
-        result = renderer.render(view)
-        how = "serial, scanline kernel"
     else:
-        result = render_fast(renderer, view)
-        how = "serial, block kernel"
+        recorder = None
+        if tracing:
+            from .obs import SpanRecorder
+
+            recorder = SpanRecorder.in_memory()
+        if args.kernel == "scanline":
+            result = renderer.render(view, recorder=recorder)
+            how = "serial, scanline kernel"
+        else:
+            result = render_fast(renderer, view, recorder=recorder)
+            how = "serial, block kernel"
+        if tracing:
+            from .obs import (RingReader, assemble_timelines,
+                              export_chrome_trace)
+
+            reader = RingReader(recorder.cursor, recorder.records, pid=0)
+            export_chrome_trace(
+                args.trace_out, assemble_timelines([reader]),
+                metadata={"dataset": args.dataset, "scale": args.scale,
+                          "n_procs": 1, "kernel": args.kernel},
+                process_name="repro serial render",
+            )
     dt = (time.perf_counter() - t0) / frames
     print(f"rendered {args.dataset} proxy {renderer.shape} -> "
           f"final image {result.final.shape}, "
           f"alpha mass {result.final.alpha.sum():.0f} "
           f"({how}, {dt * 1e3:.1f} ms/frame)")
+    if tracing:
+        print(f"wrote Chrome trace to {args.trace_out} "
+              "(load in Perfetto or chrome://tracing)")
     if args.out:
         np.savez_compressed(args.out, color=result.final.color,
                             alpha=result.final.alpha)
         print(f"saved image arrays to {args.out}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .analysis.breakdown import format_table
+    from .obs import (busy_spread, load_chrome_trace, summarize_trace,
+                      validate_chrome_trace)
+
+    trace = load_chrome_trace(args.trace)
+    problems = validate_chrome_trace(trace)
+    if problems:
+        print(f"{args.trace}: INVALID trace ({len(problems)} problem(s)):")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    summary = summarize_trace(trace)
+    meta = trace.get("otherData", {})
+    desc = ", ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+    print(f"{args.trace}: valid, {summary['n_tracks']} worker track(s)"
+          + (f" ({desc})" if desc else ""))
+    rows = [
+        (name, st["count"], st["total_s"] * 1e3, st["mean_s"] * 1e3,
+         st["max_s"] * 1e3)
+        for name, st in sorted(summary["phases"].items(),
+                               key=lambda kv: -kv[1]["total_s"])
+    ]
+    print("\nper-phase spans (ms):")
+    print(format_table(["phase", "count", "total", "mean", "max"], rows))
+    frames = summary["frames"]
+    if frames:
+        spreads = [busy_spread(list(busy.values()))
+                   for busy in frames.values() if busy]
+        mean_spread = sum(spreads) / len(spreads) if spreads else 0.0
+        print(f"\nload imbalance (busy-spread, (max-min)/mean over workers): "
+              f"mean {mean_spread:.3f} over {len(frames)} frame(s)")
     return 0
 
 
@@ -133,6 +203,13 @@ def main(argv: list[str] | None = None) -> int:
                         "from the measured per-scanline costs (paper "
                         "section 4.2-4.3); 0 = uniform split")
     p.add_argument("--out", default=None, help="save image arrays to .npz")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="write a Chrome trace-event JSON of per-worker phase "
+                        "spans (open in Perfetto or chrome://tracing)")
+
+    p = sub.add_parser("stats", help="summarize a trace written by "
+                                     "render --trace-out")
+    p.add_argument("trace", help="path to a Chrome trace-event JSON file")
 
     p = sub.add_parser("speedup", help="old-vs-new speedup curve on one machine")
     p.add_argument("--dataset", default="mri512")
@@ -142,9 +219,8 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--procs", default="1,2,4,8,16")
 
     args = parser.parse_args(argv)
-    return {"info": _cmd_info, "render": _cmd_render, "speedup": _cmd_speedup}[
-        args.command
-    ](args)
+    return {"info": _cmd_info, "render": _cmd_render, "stats": _cmd_stats,
+            "speedup": _cmd_speedup}[args.command](args)
 
 
 if __name__ == "__main__":

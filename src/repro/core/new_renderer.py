@@ -63,6 +63,7 @@ class NewParallelShearWarp:
         partition: str = "profile",
         stealing: bool = True,
         kernel: str = "scanline",
+        recorder=None,
     ) -> None:
         if n_procs < 1:
             raise ValueError("need at least one processor")
@@ -91,6 +92,10 @@ class NewParallelShearWarp:
         # this (see MachineConfig.mem_per_line_touch).
         self.mem_per_line_touch = mem_per_line_touch
         self.last_profile: ScanlineProfile | None = None
+        # Optional repro.obs.SpanRecorder: wall-clock phase spans of the
+        # recording pass itself (frame id = frames rendered so far).
+        self.recorder = recorder
+        self._obs_frame = 0
 
     def _partition(self, v_lo: int, v_hi: int, warp_line_cost: float) -> np.ndarray:
         """Contiguous boundaries for the current frame.
@@ -126,8 +131,15 @@ class NewParallelShearWarp:
 
     def render_frame(self, view: np.ndarray) -> ParallelFrame:
         """Render one frame and advance the profile schedule."""
+        obs, obs_frame = self.recorder, self._obs_frame
+        self._obs_frame += 1
         fact = self.renderer.factorize_view(view)
+        if obs is not None:
+            t0 = obs.now()
         rle = self.renderer.rle_for(fact)
+        if obs is not None:
+            t1 = obs.now()
+            obs.span(obs_frame, "decode", t0, t1)
         img = IntermediateImage(fact.intermediate_shape)
         final = FinalImage(fact.final_shape)
 
@@ -190,10 +202,21 @@ class NewParallelShearWarp:
                 composite_units[v] = rec
                 composite_queues[pid].append(v)
 
+        if obs is not None:
+            t2 = obs.now()
+            obs.span(obs_frame, "composite", t1, t2)
+            obs.count(obs_frame, "rows", max(0, v_hi - v_lo))
+
         profile = None
         if profiled:
             profile = ScanlineProfile(v_lo, costs)
             self.last_profile = profile
+        if obs is not None:
+            t3 = obs.now()
+            if profiled:
+                # The cost collapse is fused into the scanline loop above;
+                # this span marks the profile *assembly* (paper's write-out).
+                obs.span(obs_frame, "profile", t2, t3)
 
         # ---- warp: same partition, boundary-pair ownership ----
         owner = line_ownership(boundaries, img.n_v)
@@ -226,6 +249,9 @@ class NewParallelShearWarp:
             )
             warp_tasks[pid] = rec
             warp_queues[pid].append(pid)
+
+        if obs is not None:
+            obs.span(obs_frame, "warp", t3, obs.now())
 
         self.schedule.advance()
         return ParallelFrame(

@@ -76,6 +76,7 @@ class OldParallelShearWarp:
         chunk: int = DEFAULT_CHUNK,
         tile: int = DEFAULT_TILE,
         kernel: str = "scanline",
+        recorder=None,
     ) -> None:
         if n_procs < 1:
             raise ValueError("need at least one processor")
@@ -88,11 +89,22 @@ class OldParallelShearWarp:
         # kernel='block' composites each chunk through the vectorized
         # block kernel — same image and counters, no memory traces.
         self.kernel = kernel
+        # Optional repro.obs.SpanRecorder: wall-clock phase spans of the
+        # recording pass itself (frame id = frames rendered so far).
+        self.recorder = recorder
+        self._obs_frame = 0
 
     def render_frame(self, view: np.ndarray) -> ParallelFrame:
         """Render one frame, recording per-task costs and traces."""
+        obs, obs_frame = self.recorder, self._obs_frame
+        self._obs_frame += 1
         fact = self.renderer.factorize_view(view)
+        if obs is not None:
+            t0 = obs.now()
         rle = self.renderer.rle_for(fact)
+        if obs is not None:
+            t1 = obs.now()
+            obs.span(obs_frame, "decode", t0, t1)
         img = IntermediateImage(fact.intermediate_shape)
         final = FinalImage(fact.final_shape)
 
@@ -130,6 +142,11 @@ class OldParallelShearWarp:
                     composite_units[v] = rec
                     composite_queues[pid].append(v)
 
+        if obs is not None:
+            t2 = obs.now()
+            obs.span(obs_frame, "composite", t1, t2)
+            obs.count(obs_frame, "rows", n_v)
+
         # ---- warp: round-robin tiles of the final image ----
         tiles = round_robin_tiles(final.shape, self.tile, self.n_procs)
         warp_tasks: dict[int, TaskRecord] = {}
@@ -153,6 +170,9 @@ class OldParallelShearWarp:
                 warp_tasks[uid] = rec
                 warp_queues[pid].append(uid)
                 uid += 1
+
+        if obs is not None:
+            obs.span(obs_frame, "warp", t2, obs.now())
 
         return ParallelFrame(
             algorithm="old",

@@ -60,6 +60,10 @@ from ..core.profiling import (
     scanline_cost,
     scanline_cost_rows,
 )
+from ..obs.metrics import MetricsRegistry, busy_spread, metrics_from_timelines
+from ..obs.recorder import DEFAULT_RING_CAPACITY, RingReader, SpanRecorder, ring_bytes
+from ..obs.timeline import FrameTimeline
+from ..obs.timeline import export_chrome_trace as _export_chrome_trace
 from ..render.block import BlockRowCounters, composite_scanline_block
 from ..render.compositing import composite_image_scanline, nonempty_scanline_bounds
 from ..render.image import FinalImage, IntermediateImage
@@ -97,6 +101,13 @@ class MPRenderResult:
     boundaries: np.ndarray | None = None
     profiled: bool = False
     busy_s: np.ndarray | None = field(default=None, repr=False)
+    timeline: FrameTimeline | None = field(default=None, repr=False)
+
+    @property
+    def busy_spread(self) -> float | None:
+        """Per-worker busy-time spread ``(max - min) / mean`` (see
+        :func:`repro.obs.busy_spread`); ``None`` if busy times are absent."""
+        return None if self.busy_s is None else busy_spread(self.busy_s)
 
 
 def _capacity_shapes(
@@ -131,15 +142,31 @@ def _worker_loop(pid: int) -> None:
     cap_fy, cap_fx = _G["final_cap"]
     inter_floats = cap_iv * cap_iu
     final_floats = cap_fy * cap_fx
+    # Tracing is opt-in: ``rec`` stays None on untraced pools and every
+    # recording site below is guarded, so the disabled path does zero
+    # observability work (no clock reads, no allocation).
+    shm_t = _G.get("shm_t")
+    rec = (
+        SpanRecorder.over(shm_t.buf, pid, _G["trace_capacity"], _G["trace_epoch"])
+        if shm_t is not None else None
+    )
 
+    t_wait0 = 0.0 if rec is None else rec.now()
     while True:
         job = jobs.get()
         if job is None:
             return
         frame, buf, fact, v_lo, v_hi, owner, warp_rows, profiled = job
+        if rec is not None:
+            rec.span(frame, "wait", t_wait0, rec.now())
         err: str | None = None
         costs: np.ndarray | None = None
         t_comp = t_warp = 0.0
+        # Span clocks pre-bound so the finally block can record even when
+        # a phase died before its start time was taken (the bogus span is
+        # discarded with the failed frame's timeline).
+        tc0 = tb0 = 0.0
+        cache_stats0: tuple[int, int] | None = None
         # CPU time, not wall clock: on an oversubscribed host a worker's
         # wall time includes slices it spent descheduled, which would
         # poison both the profile and the busy-time report.
@@ -161,13 +188,25 @@ def _worker_loop(pid: int) -> None:
             img.opacity = full_o[:n_v, :n_u]
 
             try:
+                if rec is not None:
+                    td0 = rec.now()
                 rle = renderer.rle_for(fact)
+                if rec is not None:
+                    tc0 = rec.now()
+                    rec.span(frame, "decode", td0, tc0)
+                    cache = rle.slice_cache
+                    cache_stats0 = (cache.hits, cache.misses)
                 if kernel == "block":
                     if profiled:
                         rows = BlockRowCounters(v_lo, v_hi)
                         composite_scanline_block(img, v_lo, v_hi, rle, fact,
                                                  row_counters=rows)
+                        if rec is not None:
+                            tp0 = rec.now()
                         costs = scanline_cost_rows(rows)
+                        if rec is not None:
+                            # Nested inside this frame's composite span.
+                            rec.span(frame, "profile", tp0, rec.now())
                     else:
                         composite_scanline_block(img, v_lo, v_hi, rle, fact)
                 else:
@@ -181,15 +220,27 @@ def _worker_loop(pid: int) -> None:
                             costs[v - v_lo] = scanline_cost(counters)
                         else:
                             composite_image_scanline(img, v, rle, fact)
+                if rec is not None:
+                    rec.count(frame, "rows", v_hi - v_lo)
+                    rec.count(frame, "cache_hits", cache.hits - cache_stats0[0])
+                    rec.count(frame, "cache_misses",
+                              cache.misses - cache_stats0[1])
             finally:
                 # Busy time stops at the barrier: the wait measures the
                 # *imbalance*, not this worker's work.
                 t_comp = time.process_time() - t0
+                if rec is not None:
+                    tb0 = rec.now()
+                    rec.span(frame, "composite", tc0, tb0)
                 # Siblings block on this barrier no matter what happened
                 # above — reaching it even on error prevents a deadlock.
                 barrier.wait()
+                if rec is not None:
+                    rec.span(frame, "barrier", tb0, rec.now())
 
             t1 = time.process_time()
+            if rec is not None:
+                tw0 = rec.now()
             final = FinalImage((ny, nx))
             final.color = np.ndarray(
                 (cap_fy, cap_fx), np.float32, buffer=shm_f.buf, offset=base_f * 4
@@ -201,9 +252,13 @@ def _worker_loop(pid: int) -> None:
             for y in warp_rows:
                 warp_scanline(final, y, img, fact, line_owner=owner, pid=pid)
             t_warp = time.process_time() - t1
+            if rec is not None:
+                rec.span(frame, "warp", tw0, rec.now())
         except Exception as exc:  # noqa: BLE001 - forwarded to the parent
             err = f"{type(exc).__name__}: {exc}"
             costs = None
+        if rec is not None:
+            t_wait0 = rec.now()
         done.put((pid, frame, err, int(v_lo), costs, t_comp, t_warp))
 
 
@@ -234,6 +289,14 @@ class MPRenderPool:
         the uniform equal-count split.  The partition only changes *who
         composites which scanlines*, so the images are bit-identical
         across settings.
+    trace:
+        Record per-worker phase spans and counters into shared-memory
+        ring buffers (:mod:`repro.obs`).  Completed frames carry a
+        :class:`~repro.obs.FrameTimeline` on their result, the pool
+        accumulates ``timelines`` and phase histograms in ``metrics``,
+        and :meth:`export_chrome_trace` writes a Perfetto-loadable
+        trace.  Off by default; the disabled path records nothing and
+        the images are bit-identical either way.
     """
 
     def __init__(
@@ -243,6 +306,8 @@ class MPRenderPool:
         kernel: str = "block",
         buffers: int = 2,
         profile_period: int = 5,
+        trace: bool = False,
+        trace_capacity: int = DEFAULT_RING_CAPACITY,
     ) -> None:
         if n_procs < 1:
             raise ValueError("need at least one worker")
@@ -252,14 +317,27 @@ class MPRenderPool:
             raise ValueError("need at least one image buffer")
         if profile_period < 0:
             raise ValueError("profile_period must be >= 0 (0 disables profiling)")
+        if trace_capacity < 1:
+            raise ValueError("trace_capacity must be >= 1")
         if mp.get_start_method(allow_none=True) not in (None, "fork"):
             raise RuntimeError("MPRenderPool requires the fork start method")
+
+        # Teardown-critical state first, with inert defaults: close() /
+        # __del__ must work on a pool whose construction died at *any*
+        # later point (failed shm allocation, fork failure, ...) without
+        # AttributeErrors and without leaking shm segments.
+        self._closed = False
+        self._workers: list = []
+        self._job_queues: list = []
+        self._shm_i = self._shm_f = self._shm_t = None
 
         self.renderer = renderer
         self.n_procs = int(n_procs)
         self.kernel = kernel
         self.buffers = int(buffers)
         self.profile_period = int(profile_period)
+        self.trace = bool(trace)
+        self.trace_capacity = int(trace_capacity)
         self._schedule = (
             ProfileSchedule(period=self.profile_period)
             if self.profile_period > 0 else None
@@ -275,6 +353,14 @@ class MPRenderPool:
         self._inter_floats = cap_iv * cap_iu
         self._final_floats = cap_fy * cap_fx
 
+        try:
+            self._construct()
+        except BaseException:
+            self.close()
+            raise
+
+    def _construct(self) -> None:
+        """Fallible half of ``__init__``: shm segments, fork, bookkeeping."""
         self._shm_i = shared_memory.SharedMemory(
             create=True, size=self.buffers * 2 * self._inter_floats * 4
         )
@@ -289,12 +375,34 @@ class MPRenderPool:
             (self.buffers * 2 * self._final_floats,), np.float32, buffer=self._shm_f.buf
         ).fill(0.0)
 
+        # Observability: the registry always exists (submit updates pool
+        # health gauges either way); the span rings are allocated only
+        # when tracing so an untraced pool carries no extra segment.
+        self.metrics = MetricsRegistry()
+        self.timelines: list[FrameTimeline] = []
+        self._trace_epoch = time.perf_counter()
+        self._readers: list[RingReader] = []
+        self._frame_obs: dict[int, FrameTimeline] = {}
+        self._last_boundaries: np.ndarray | None = None
+        self._last_part_key: tuple[int, tuple[int, int, int]] | None = None
+        if self.trace:
+            self._shm_t = shared_memory.SharedMemory(
+                create=True, size=self.n_procs * ring_bytes(self.trace_capacity)
+            )
+            np.ndarray(
+                (self._shm_t.size // 8,), np.float64, buffer=self._shm_t.buf
+            ).fill(0.0)
+            self._readers = [
+                RingReader.over(self._shm_t.buf, pid, self.trace_capacity)
+                for pid in range(self.n_procs)
+            ]
+
         ctx = mp.get_context("fork")
         self._job_queues = [ctx.SimpleQueue() for _ in range(self.n_procs)]
         self._done_queue = ctx.Queue()
         _G.update(
-            renderer=renderer,
-            kernel=kernel,
+            renderer=self.renderer,
+            kernel=self.kernel,
             job_queues=self._job_queues,
             done_queue=self._done_queue,
             barrier=ctx.Barrier(self.n_procs),
@@ -302,6 +410,9 @@ class MPRenderPool:
             shm_f=self._shm_f,
             inter_cap=self.inter_cap,
             final_cap=self.final_cap,
+            shm_t=self._shm_t,
+            trace_capacity=self.trace_capacity,
+            trace_epoch=self._trace_epoch,
         )
         try:
             self._workers = [
@@ -328,7 +439,6 @@ class MPRenderPool:
         self._buf_dirty: list[tuple[tuple[int, int], tuple[int, int]] | None] = (
             [None] * self.buffers
         )
-        self._closed = False
 
     # -- frame lifecycle -----------------------------------------------------
 
@@ -358,13 +468,34 @@ class MPRenderPool:
         # parent was elsewhere, so pipelined submits see the freshest
         # profile without blocking.
         self._drain_done()
+        # Pool-health gauges, sampled at submit time: how deep the
+        # pipeline is and how many shared buffers are still occupied by
+        # unfinished frames.
+        self.metrics.gauge("pool/queue_depth").set(len(self._inflight))
+        self.metrics.gauge("pool/buffer_occupancy").set(
+            sum(1 for f in self._buf_frame if f is not None and f in self._inflight)
+        )
         if self._profile is not None and self._profile_key != (fact.axis, fact.perm):
             self._profile = None
+            self.metrics.counter("pool/profile_invalidations").inc()
         profiled = False
         if self._schedule is not None:
             profiled = self._schedule.should_profile() or self._profile is None
             self._schedule.advance()
         boundaries = self._partition(v_lo, v_hi)
+        # Partition-boundary drift between successive frames of the same
+        # principal axis: how far the feedback loop moves the split.
+        part_key = (fact.axis, fact.perm)
+        if (
+            self._last_boundaries is not None
+            and self._last_part_key == part_key
+            and len(self._last_boundaries) == len(boundaries)
+        ):
+            self.metrics.histogram("pool/boundary_drift").observe(
+                float(np.abs(boundaries - self._last_boundaries).mean())
+            )
+        self._last_boundaries = boundaries
+        self._last_part_key = part_key
         owner = line_ownership(boundaries, n_v)
         src_lines = final_pixel_source_lines((ny, nx), fact)
         rows_by_pid: list[list[int]] = [[] for _ in range(self.n_procs)]
@@ -511,18 +642,46 @@ class MPRenderPool:
     def _finish(self, frame: int) -> None:
         """All workers reported: record failure or materialise the frame."""
         rec = self._inflight[frame]
+        timeline = self._collect_timeline(frame)
         if rec["errors"]:
             # The frame's buffer regions stay marked dirty, so reuse
-            # zeroes whatever the workers managed to write.
+            # zeroes whatever the workers managed to write.  A failed
+            # frame's timeline is dropped — its spans may be truncated.
             del self._inflight[frame]
             self._failed[frame] = list(rec["errors"])
             return
+        if timeline is not None:
+            self.timelines.append(timeline)
+            metrics_from_timelines([timeline], self.metrics)
         if rec["profiled"] and rec["costs"] is not None:
             self._profile = ScanlineProfile(rec["v_lo"], rec["costs"])
             self._profile_key = rec["key"]
-        self._materialize(frame)
+        self._materialize(frame, timeline)
 
-    def _materialize(self, frame: int) -> None:
+    def _collect_timeline(self, frame: int) -> FrameTimeline | None:
+        """Drain the span rings and return ``frame``'s assembled timeline.
+
+        Every worker has posted its done message for ``frame`` by the
+        time this runs, and each done message happens-after that
+        worker's ring writes, so the frame's records are all visible.
+        Records of *later* frames still in flight stay parked in
+        ``_frame_obs`` until their own finish.
+        """
+        if not self.trace:
+            return None
+        for reader in self._readers:
+            for r in reader.drain():
+                tl = self._frame_obs.get(r.frame)
+                if tl is None:
+                    tl = self._frame_obs[r.frame] = FrameTimeline(r.frame)
+                tl.add(r)
+        dropped = sum(r.dropped for r in self._readers)
+        if dropped:
+            # Ring wrapped before the parent drained — never silent.
+            self.metrics.gauge("trace/dropped_records").set(dropped)
+        return self._frame_obs.pop(frame, None)
+
+    def _materialize(self, frame: int, timeline: FrameTimeline | None = None) -> None:
         """Copy a completed frame out of its shared buffer."""
         info = self._inflight.pop(frame)
         fact: ShearWarpFactorization = info["fact"]
@@ -543,6 +702,7 @@ class MPRenderPool:
             boundaries=info["boundaries"],
             profiled=info["profiled"],
             busy_s=info["busy"],
+            timeline=timeline,
         )
 
     # -- shared-buffer plumbing ----------------------------------------------
@@ -566,24 +726,63 @@ class MPRenderPool:
             self._final_view(buf, plane)[:ny, :nx].fill(0.0)
         self._buf_dirty[buf] = None
 
+    # -- observability -------------------------------------------------------
+
+    def export_chrome_trace(self, path: str, metadata: dict | None = None) -> None:
+        """Write every completed frame's timeline as Chrome trace JSON.
+
+        The file loads in Perfetto / ``chrome://tracing`` with one track
+        per worker.  Requires the pool to have been built with
+        ``trace=True``.
+        """
+        if not self.trace:
+            raise RuntimeError("pool was created without trace=True")
+        meta = {
+            "n_procs": self.n_procs,
+            "kernel": self.kernel,
+            "profile_period": self.profile_period,
+            "frames": len(self.timelines),
+        }
+        if metadata:
+            meta.update(metadata)
+        _export_chrome_trace(path, self.timelines, metadata=meta)
+
     # -- teardown ------------------------------------------------------------
 
     def close(self) -> None:
-        """Stop the workers and release the shared buffers."""
-        if self._closed:
+        """Stop the workers and release the shared buffers.
+
+        Safe on a partially-constructed pool (``__init__`` failed midway):
+        every teardown step tolerates missing or half-built state, and
+        whatever shm segments were created are unlinked.
+        """
+        if getattr(self, "_closed", True):
             return
         self._closed = True
-        for q in self._job_queues:
-            q.put(None)
-        for w in self._workers:
-            w.join(timeout=5.0)
-            if w.is_alive():
-                w.terminate()
-                w.join()
-        self._shm_i.close()
-        self._shm_f.close()
-        self._shm_i.unlink()
-        self._shm_f.unlink()
+        for q in getattr(self, "_job_queues", []):
+            try:
+                q.put(None)
+            except Exception:  # noqa: BLE001 - queue may be half-built
+                pass
+        for w in getattr(self, "_workers", []):
+            try:
+                if w.pid is None:  # never started (start() failed earlier)
+                    continue
+                w.join(timeout=5.0)
+                if w.is_alive():
+                    w.terminate()
+                    w.join()
+            except Exception:  # noqa: BLE001 - teardown must not raise
+                pass
+        for name in ("_shm_i", "_shm_f", "_shm_t"):
+            shm = getattr(self, name, None)
+            if shm is None:
+                continue
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:
+                pass  # already unlinked
 
     def __enter__(self) -> "MPRenderPool":
         return self
@@ -604,6 +803,7 @@ def render_parallel_mp(
     n_procs: int = 2,
     kernel: str = "block",
     profile_period: int = 0,
+    trace: bool = False,
 ) -> MPRenderResult:
     """Render one frame with ``n_procs`` worker processes.
 
@@ -623,6 +823,6 @@ def render_parallel_mp(
     """
     with MPRenderPool(
         renderer, n_procs=n_procs, kernel=kernel, buffers=1,
-        profile_period=profile_period,
+        profile_period=profile_period, trace=trace,
     ) as pool:
         return pool.render(view)

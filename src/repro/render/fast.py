@@ -72,12 +72,33 @@ def warp_frame_fast(
     return final
 
 
-def render_fast(renderer: ShearWarpRenderer, view: np.ndarray) -> RenderResult:
-    """Render one frame through the vectorized path."""
+def render_fast(
+    renderer: ShearWarpRenderer,
+    view: np.ndarray,
+    recorder=None,
+    obs_frame: int = 0,
+) -> RenderResult:
+    """Render one frame through the vectorized path.
+
+    ``recorder`` (a :class:`repro.obs.SpanRecorder`) captures wall-clock
+    decode/composite/warp spans for frame id ``obs_frame``; ``None``
+    (the default) records nothing.
+    """
     fact = renderer.factorize_view(view)
+    if recorder is not None:
+        t0 = recorder.now()
     rle = renderer.rle_for(fact)
     img = IntermediateImage(fact.intermediate_shape)
+    if recorder is not None:
+        t1 = recorder.now()
+        recorder.span(obs_frame, "decode", t0, t1)
     composite_frame_fast(img, rle, fact)
+    if recorder is not None:
+        t2 = recorder.now()
+        recorder.span(obs_frame, "composite", t1, t2)
+        recorder.count(obs_frame, "rows", img.n_v)
     final = FinalImage(fact.final_shape)
     warp_frame_fast(final, img, fact)
+    if recorder is not None:
+        recorder.span(obs_frame, "warp", t2, recorder.now())
     return RenderResult(final=final, intermediate=img, fact=fact)

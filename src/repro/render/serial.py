@@ -94,6 +94,8 @@ class ShearWarpRenderer:
         counters: WorkCounters | None = None,
         trace: TraceSink | None = None,
         restrict_bounds: bool = False,
+        recorder=None,
+        obs_frame: int = 0,
     ) -> RenderResult:
         """Render one frame from viewing matrix ``view``.
 
@@ -101,12 +103,29 @@ class ShearWarpRenderer:
         skipping the empty top/bottom of the intermediate image; the
         baseline serial renderer (and the old parallel one) leaves it
         off.
+
+        ``recorder`` (a :class:`repro.obs.SpanRecorder`) captures
+        wall-clock decode/composite/warp phase spans for frame id
+        ``obs_frame`` — the native-timing complement of the op-count
+        ``counters`` and memory-trace ``trace`` hooks, and a no-op when
+        left ``None``.
         """
         fact = self.factorize_view(view)
+        if recorder is not None:
+            t0 = recorder.now()
         rle = self.rle_for(fact)
         img = IntermediateImage(fact.intermediate_shape)
+        if recorder is not None:
+            t1 = recorder.now()
+            recorder.span(obs_frame, "decode", t0, t1)
         composite_frame(img, rle, fact, counters=counters, trace=trace,
                         restrict_bounds=restrict_bounds)
+        if recorder is not None:
+            t2 = recorder.now()
+            recorder.span(obs_frame, "composite", t1, t2)
+            recorder.count(obs_frame, "rows", img.n_v)
         final = FinalImage(fact.final_shape)
         warp_frame(final, img, fact, counters=counters, trace=trace)
+        if recorder is not None:
+            recorder.span(obs_frame, "warp", t2, recorder.now())
         return RenderResult(final=final, intermediate=img, fact=fact, counters=counters)
