@@ -22,8 +22,13 @@ warp, barrier waits excluded).  Reported per mode:
 * bit-identity of the two modes' images (the partition only moves work
   between workers, never changes the arithmetic).
 
-Results go to ``benchmarks/results/BENCH_adaptive.json``.  The non-smoke
-run fails if the adaptive spread is not below the uniform spread.
+Task stealing is pinned *off* in both modes: stealing would flatten both
+spreads dynamically and blur the static-partitioning claim this
+benchmark isolates (the stealing-on comparison is ``bench_steal.py``).
+
+Results are published as ``BENCH_adaptive.json`` at the repository
+root.  The non-smoke run fails if the adaptive spread is not below the
+uniform spread.
 
 Run:  python benchmarks/bench_adaptive.py [--smoke] [--procs N]
 """
@@ -31,7 +36,6 @@ Run:  python benchmarks/bench_adaptive.py [--smoke] [--procs N]
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 
@@ -39,7 +43,7 @@ import numpy as np
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from common import RESULTS_DIR, Stopwatch  # noqa: E402
+from common import Stopwatch, save_bench_json  # noqa: E402
 
 from repro.datasets import density_wedge  # noqa: E402
 from repro.parallel.mp_backend import MPRenderPool  # noqa: E402
@@ -59,8 +63,9 @@ def run_animation(
     kernel: str,
 ) -> dict:
     """Render the animation once; return timings, spreads and images."""
+    # stealing=False isolates the static-partition claim (see module doc).
     with MPRenderPool(renderer, n_procs=n_procs, kernel=kernel,
-                      profile_period=profile_period) as pool:
+                      profile_period=profile_period, stealing=False) as pool:
         pool.render(views[0])  # warm up fork + first slice decodes
         with Stopwatch() as sw:
             handles = [pool.submit(v) for v in views]
@@ -143,11 +148,7 @@ def main(argv: list[str] | None = None) -> int:
         if not args.smoke and kernel == "scanline":
             ok &= improved
 
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    out_path = os.path.join(RESULTS_DIR, "BENCH_adaptive.json")
-    with open(out_path, "w") as f:
-        json.dump(report, f, indent=2)
-        f.write("\n")
+    out_path = save_bench_json("adaptive", report)
     print(f"wrote {out_path}")
 
     if not ok:

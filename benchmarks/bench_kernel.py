@@ -11,8 +11,8 @@ execution path.  Three serial configurations composite one frame:
 
 then the shared-memory backend renders a short animation at 1-4 worker
 processes with both kernels, one-shot (fork + setup every frame) and
-through a persistent :class:`MPRenderPool`.  Results go to
-``benchmarks/results/BENCH_kernel.json``.
+through a persistent :class:`MPRenderPool`.  Results are published as
+``BENCH_kernel.json`` at the repository root.
 
 Run:  python benchmarks/bench_kernel.py [--smoke] [--reps N]
 """
@@ -20,7 +20,6 @@ Run:  python benchmarks/bench_kernel.py [--smoke] [--reps N]
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 
@@ -28,7 +27,7 @@ import numpy as np
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from common import RESULTS_DIR, best_of  # noqa: E402
+from common import best_of, save_bench_json  # noqa: E402
 
 from repro.datasets import ct_head, mri_brain  # noqa: E402
 from repro.parallel.mp_backend import MPRenderPool, render_parallel_mp  # noqa: E402
@@ -166,11 +165,7 @@ def main(argv: list[str] | None = None) -> int:
         if not args.smoke and name == "mri_brain":
             ok &= serial["block_speedup_vs_scanline"] >= 3.0
 
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    out_path = os.path.join(RESULTS_DIR, "BENCH_kernel.json")
-    with open(out_path, "w") as f:
-        json.dump(report, f, indent=2)
-        f.write("\n")
+    out_path = save_bench_json("kernel", report)
     print(f"\nwrote {out_path}")
     if not ok:
         print("FAILED: exact-equality or speedup criterion not met", file=sys.stderr)

@@ -31,6 +31,9 @@ from repro.analysis.harness import (  # noqa: E402
 from repro.obs import Stopwatch, busy_spread  # noqa: E402,F401
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+#: Repository root — the wall-clock ``BENCH_*.json`` reports are published
+#: here (tracked, diffable across PRs) rather than buried in results/.
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 #: Processor counts for speedup figures (paper: up to 32 on DASH and the
 #: simulator, 16 on Challenge/Origin2000).
@@ -48,6 +51,22 @@ def save_result(name: str, text: str) -> None:
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as f:
         f.write(text + "\n")
+
+
+def save_bench_json(name: str, report: dict) -> str:
+    """Publish a wall-clock benchmark report as ``<repo>/BENCH_<name>.json``.
+
+    Returns the path written.  These land at the repository root so the
+    perf trajectory of the real execution path is visible (and reviewed)
+    next to the code that moves it.
+    """
+    import json
+
+    path = os.path.join(REPO_ROOT, f"BENCH_{name}.json")
+    with open(path, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    return path
 
 
 def emit(name: str, text: str) -> str:

@@ -45,6 +45,11 @@ def _cmd_render(args: argparse.Namespace) -> int:
     view = renderer.view_from_angles(args.rx, args.ry, args.rz)
     frames = max(1, args.frames)
     tracing = bool(args.trace_out)
+    stealing = args.stealing == "on"
+    if args.steal_chunk is None:
+        from .parallel.mp_backend import DEFAULT_STEAL_CHUNK
+
+        args.steal_chunk = DEFAULT_STEAL_CHUNK
     t0 = time.perf_counter()
     if frames > 1:
         # Animation through a persistent pool: this is the path where
@@ -58,6 +63,7 @@ def _cmd_render(args: argparse.Namespace) -> int:
         with MPRenderPool(renderer, n_procs=max(1, args.procs),
                           kernel=args.kernel,
                           profile_period=args.profile_period,
+                          stealing=stealing, steal_chunk=args.steal_chunk,
                           trace=tracing) as pool:
             handles = [pool.submit(v) for v in views]
             results = [pool.result(h) for h in handles]
@@ -68,8 +74,13 @@ def _cmd_render(args: argparse.Namespace) -> int:
         result = results[-1]
         split = (f"profile-balanced k={args.profile_period}"
                  if args.profile_period > 0 else "uniform split")
+        steals = sum(r.steals for r in results)
+        steal_rows = sum(r.steal_rows for r in results)
+        dyn = (f"stealing chunk={args.steal_chunk} "
+               f"({steals} steals, {steal_rows} rows)"
+               if stealing and args.procs > 1 else "no stealing")
         how = (f"{frames} frames, {max(1, args.procs)} procs, "
-               f"{args.kernel} kernel, {split}")
+               f"{args.kernel} kernel, {split}, {dyn}")
     elif args.procs > 1:
         from .obs import export_chrome_trace
         from .parallel.mp_backend import render_parallel_mp
@@ -77,6 +88,8 @@ def _cmd_render(args: argparse.Namespace) -> int:
         result = render_parallel_mp(renderer, view, n_procs=args.procs,
                                     kernel=args.kernel,
                                     profile_period=args.profile_period,
+                                    stealing=stealing,
+                                    steal_chunk=args.steal_chunk,
                                     trace=tracing)
         if tracing:
             export_chrome_trace(
@@ -149,6 +162,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     ]
     print("\nper-phase spans (ms):")
     print(format_table(["phase", "count", "total", "mean", "max"], rows))
+    counters = summary.get("counters") or {}
+    if counters:
+        print("\ncounters (summed over workers and frames):")
+        print(format_table(
+            ["counter", "total"],
+            [(name, int(total)) for name, total in sorted(counters.items())],
+            width=14,
+        ))
     frames = summary["frames"]
     if frames:
         spreads = [busy_spread(list(busy.values()))
@@ -202,6 +223,11 @@ def main(argv: list[str] | None = None) -> int:
                    help="re-profile every k frames and balance partitions "
                         "from the measured per-scanline costs (paper "
                         "section 4.2-4.3); 0 = uniform split")
+    p.add_argument("--stealing", choices=["on", "off"], default="on",
+                   help="chunked task stealing between workers on top of "
+                        "the static partition (paper section 4.4)")
+    p.add_argument("--steal-chunk", type=int, default=None, metavar="N",
+                   help="scanlines per claim/steal (default 8)")
     p.add_argument("--out", default=None, help="save image arrays to .npz")
     p.add_argument("--trace-out", default=None, metavar="PATH",
                    help="write a Chrome trace-event JSON of per-worker phase "

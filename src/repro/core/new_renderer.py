@@ -26,7 +26,12 @@ from ..render.compositing import composite_image_scanline, nonempty_scanline_bou
 from ..render.image import FinalImage, IntermediateImage
 from ..render.instrument import ListTraceSink, Region, SegmentedTraceSink, WorkCounters
 from ..render.serial import ShearWarpRenderer
-from ..render.warp import final_pixel_source_lines, warp_scanline
+from ..render.warp import (
+    final_pixel_source_lines,
+    warp_coeffs,
+    warp_rows_by_pid,
+    warp_scanline,
+)
 from .frame import COMPOSITE, WARP, ParallelFrame, TaskRecord, region_sizes
 from .old_renderer import warp_line_cost_estimate, warp_tile_cost
 from .partition import contiguous_partition, line_ownership, uniform_contiguous_partition
@@ -220,24 +225,20 @@ class NewParallelShearWarp:
 
         # ---- warp: same partition, boundary-pair ownership ----
         owner = line_ownership(boundaries, img.n_v)
-        src_lines = final_pixel_source_lines(final.shape, fact)
+        coeffs = warp_coeffs(fact)
+        src_lines = final_pixel_source_lines(final.shape, fact, coeffs=coeffs)
         # Exact row lists: a processor touches final row y only if it
         # owns one of the intermediate scanlines the row samples.
-        rows_by_pid: list[list[int]] = [[] for _ in range(self.n_procs)]
-        n_v = img.n_v
-        for y in range(final.ny):
-            vmin = min(max(int(src_lines[y, 0]), 0), n_v - 1)
-            vmax = min(max(int(src_lines[y, 1]), vmin + 1), n_v)
-            for pid in np.unique(owner[vmin:vmax]):
-                rows_by_pid[int(pid)].append(y)
+        rows_by_pid = warp_rows_by_pid(src_lines, owner, self.n_procs)
         warp_tasks: dict[int, TaskRecord] = {}
         warp_queues: list[list[int]] = [[] for _ in range(self.n_procs)]
         for pid in range(self.n_procs):
             sink = None if self.kernel == "block" else ListTraceSink()
             counters = WorkCounters()
             for y in rows_by_pid[pid]:
-                warp_scanline(final, y, img, fact, line_owner=owner,
-                              pid=pid, counters=counters, trace=sink)
+                warp_scanline(final, int(y), img, fact, line_owner=owner,
+                              pid=pid, counters=counters, trace=sink,
+                              coeffs=coeffs)
             rec = TaskRecord(
                 uid=pid,
                 phase=WARP,

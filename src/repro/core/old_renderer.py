@@ -21,7 +21,7 @@ from ..render.compositing import composite_image_scanline
 from ..render.image import FinalImage, IntermediateImage
 from ..render.instrument import ListTraceSink, SegmentedTraceSink, WorkCounters
 from ..render.serial import ShearWarpRenderer
-from ..render.warp import warp_tile
+from ..render.warp import warp_coeffs, warp_tile
 from .frame import COMPOSITE, WARP, ParallelFrame, TaskRecord, region_sizes
 from .partition import interleaved_chunks, round_robin_tiles
 from .profiling import scanline_cost
@@ -149,6 +149,7 @@ class OldParallelShearWarp:
 
         # ---- warp: round-robin tiles of the final image ----
         tiles = round_robin_tiles(final.shape, self.tile, self.n_procs)
+        coeffs = warp_coeffs(fact)  # one 2x2 inverse for the whole frame
         warp_tasks: dict[int, TaskRecord] = {}
         warp_queues: list[list[int]] = [[] for _ in range(self.n_procs)]
         uid = 0
@@ -157,7 +158,7 @@ class OldParallelShearWarp:
                 sink = None if self.kernel == "block" else ListTraceSink()
                 counters = WorkCounters()
                 warp_tile(final, y0, y1, x0, x1, img, fact,
-                          counters=counters, trace=sink)
+                          counters=counters, trace=sink, coeffs=coeffs)
                 rec = TaskRecord(
                     uid=uid,
                     phase=WARP,

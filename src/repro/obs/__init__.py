@@ -8,8 +8,9 @@ that actually runs on the host:
 
 * :class:`SpanRecorder` — a preallocated per-worker ring buffer of phase
   **spans** (slice-decode, composite, warp, queue wait, profile
-  collapse, barrier) and **counters** (rows composited, slice-cache
-  hits/misses).  Backed by shared memory in the multiprocessing pool so
+  collapse, steal synchronization, barrier) and **counters** (rows
+  composited, slice-cache hits/misses, chunk steals and the scanlines
+  they moved).  Backed by shared memory in the multiprocessing pool so
   recording adds no queue traffic on the hot path; a disabled recorder
   (``None``) costs nothing.
 * :class:`FrameTimeline` + :func:`export_chrome_trace` — the parent

@@ -41,13 +41,18 @@ __all__ = [
 
 #: Phase names a span can carry, in display order.  ``wait`` is the
 #: worker's job-queue wait, ``decode`` the RLE slice decodes, ``profile``
-#: the per-scanline cost collapse on profiled frames, ``barrier`` the
-#: inter-phase synchronization wait (the paper's "sync time").
-PHASES = ("wait", "decode", "composite", "profile", "barrier", "warp")
+#: the per-scanline cost collapse on profiled frames, ``steal`` a
+#: thief's victim scan + claim-cursor lock (the paper's steal
+#: synchronization cost, section 4.4; nested inside ``composite``),
+#: ``barrier`` the inter-phase synchronization wait (the paper's "sync
+#: time").
+PHASES = ("wait", "decode", "composite", "profile", "steal", "barrier", "warp")
 
-#: Counter names.  ``steals`` is reserved for the stealing backends (the
-#: event-driven scheduler); the MP pool's static partitions never steal.
-COUNTERS = ("rows", "cache_hits", "cache_misses", "steals")
+#: Counter names.  ``steals``/``steal_rows`` count successful chunk
+#: steals and the scanlines they moved — recorded by the MP pool's
+#: chunked claim/steal loop (and mirrored by the event-driven scheduler
+#: models).
+COUNTERS = ("rows", "cache_hits", "cache_misses", "steals", "steal_rows")
 
 #: Records per worker ring.  A pool frame writes ~8 records per worker,
 #: so the default absorbs hundreds of frames between drains.

@@ -223,15 +223,26 @@ def summarize_trace(trace: dict) -> dict:
     """Collapse a trace document into per-phase and per-frame summaries.
 
     Returns ``{"phases": {phase: {"count", "total_s", "mean_s",
-    "max_s"}}, "frames": {frame: {tid: busy_s}}, "n_tracks": int}`` —
-    the data ``repro stats`` prints.  Only span (``X``) events
-    contribute; busy time per frame/track is composite + warp.
+    "max_s"}}, "frames": {frame: {tid: busy_s}}, "counters": {name:
+    total}, "n_tracks": int}`` — the data ``repro stats`` prints.  Span
+    (``X``) events feed the phase table; busy time per frame/track is
+    composite + warp; counter (``C``) events are summed over workers and
+    frames by name (``steals``, ``steal_rows``, ``rows``, cache
+    hits/misses).
     """
     phases: dict[str, dict[str, float]] = {}
     frames: dict[int, dict[int, float]] = {}
+    counters: dict[str, float] = {}
     tracks: set[int] = set()
     for ev in trace.get("traceEvents", []):
-        if not isinstance(ev, dict) or ev.get("ph") != "X":
+        if not isinstance(ev, dict):
+            continue
+        if ev.get("ph") == "C":
+            for key, value in ev.get("args", {}).items():
+                if key != "frame" and isinstance(value, (int, float)):
+                    counters[key] = counters.get(key, 0.0) + value
+            continue
+        if ev.get("ph") != "X":
             continue
         name, dur = ev.get("name"), float(ev.get("dur", 0.0)) / 1e6
         tracks.add(ev.get("tid"))
@@ -246,4 +257,5 @@ def summarize_trace(trace: dict) -> dict:
                 row[ev["tid"]] = row.get(ev["tid"], 0.0) + dur
     for st in phases.values():
         st["mean_s"] = st["total_s"] / st["count"] if st["count"] else 0.0
-    return {"phases": phases, "frames": frames, "n_tracks": len(tracks)}
+    return {"phases": phases, "frames": frames, "counters": counters,
+            "n_tracks": len(tracks)}

@@ -34,6 +34,24 @@ scanline coordinates it was measured in no longer exist).
 ``profile_period=0`` disables the loop (always-uniform partitions);
 either way the images are bit-identical, only the load balance moves.
 
+On top of the static partition the pool runs the paper's *dynamic* half
+(section 4.4): chunked task stealing over a shared claim array.  Each
+worker's compositing assignment lives in shared memory as a ``(head,
+tail)`` cursor pair; the owner claims chunks of ``steal_chunk``
+scanlines from the head of its contiguous block, and a worker that runs
+dry trims chunks from the *tail* of the most-loaded victim's block
+(single-scanline steals made synchronization ~10x worse in the paper,
+hence the chunk).  Intermediate scanlines are independent and each is
+composited exactly once by exactly one worker, so the images stay
+bit-identical with stealing on or off, for both kernels.  Warp-row
+ownership keeps following the static boundaries (section 4.5) — the
+warp's cache affinity and lock-free final-image writes are per-frame
+properties of the *partition*, not of who happened to composite a
+stolen row — and on profiled frames a stolen row's cost counters are
+shipped back by the thief, so the feedback loop still sees every row's
+true cost.  ``stealing=False`` (or one worker) restores the purely
+static pool: one kernel call per band, no claim traffic at all.
+
 On a single-core host this still runs correctly (and is exercised by the
 test suite); the wall-clock speedup study is
 ``examples/multicore_speedup.py``.
@@ -42,6 +60,7 @@ test suite); the wall-clock speedup study is
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import queue as queue_mod
 import time
 from dataclasses import dataclass, field
@@ -69,13 +88,54 @@ from ..render.compositing import composite_image_scanline, nonempty_scanline_bou
 from ..render.image import FinalImage, IntermediateImage
 from ..render.instrument import WorkCounters
 from ..render.serial import ShearWarpRenderer
-from ..render.warp import final_pixel_source_lines, warp_scanline
+from ..render.warp import (
+    final_pixel_source_lines,
+    warp_coeffs,
+    warp_rows_by_pid,
+    warp_scanline,
+)
 from ..transforms.factorization import PERMUTATIONS, ShearWarpFactorization
 
-__all__ = ["MPRenderPool", "MPRenderResult", "render_parallel_mp", "COMPOSITE_KERNELS"]
+__all__ = [
+    "MPRenderPool",
+    "MPRenderResult",
+    "render_parallel_mp",
+    "COMPOSITE_KERNELS",
+    "DEFAULT_STEAL_CHUNK",
+]
 
 #: Compositing kernels a worker can run over its partition.
 COMPOSITE_KERNELS = ("scanline", "block")
+
+#: Default stealing granularity, scanlines per claim/steal (section 4.4).
+#: Larger than the event-driven simulator's default (2): a pool chunk
+#: also pays one Python kernel invocation, so the sweet spot sits a bit
+#: higher; single-scanline chunks recreate the paper's ~10x sync blowup.
+DEFAULT_STEAL_CHUNK = 8
+
+
+def _row_delay_from_env() -> tuple[int, float] | None:
+    """Parse the ``REPRO_MP_ROW_DELAY`` chaos knob (``"pid:sec_per_row"``)."""
+    spec = os.environ.get("REPRO_MP_ROW_DELAY")
+    if not spec:
+        return None
+    pid_s, sec_s = spec.split(":", 1)
+    return int(pid_s), float(sec_s)
+
+
+#: Imbalance-injection hook for tests, benchmarks and CI: ``(pid,
+#: seconds_per_row)`` makes worker ``pid`` burn that much *CPU* per
+#: scanline it composites — a deterministic stand-in for a slow or
+#: interfered-with processor.  Set the env var above or monkeypatch this
+#: before pool construction (it reaches the workers through fork).
+_TEST_ROW_DELAY: tuple[int, float] | None = _row_delay_from_env()
+
+
+def _burn(seconds: float) -> None:
+    """Busy-wait so the injected delay shows up in CPU (process) time."""
+    t0 = time.perf_counter()
+    while time.perf_counter() - t0 < seconds:
+        pass
 
 # Worker globals installed by fork (read-only for the volume; the images
 # are views onto shared memory, partitioned so no two workers write the
@@ -102,6 +162,10 @@ class MPRenderResult:
     profiled: bool = False
     busy_s: np.ndarray | None = field(default=None, repr=False)
     timeline: FrameTimeline | None = field(default=None, repr=False)
+    #: Successful chunk steals across all workers, and the scanlines they
+    #: moved (zero on a static pool or a frame that never went idle).
+    steals: int = 0
+    steal_rows: int = 0
 
     @property
     def busy_spread(self) -> float | None:
@@ -129,6 +193,81 @@ def _capacity_shapes(
     return (cap_v, cap_u), (diag, diag)
 
 
+def _composite_range(img, lo, hi, rle, fact, kernel, profiled, rec, frame):
+    """Composite scanlines ``[lo, hi)``; per-row costs when profiling.
+
+    One claimed chunk (or, with stealing off, the whole band).  The
+    block kernel's per-row arithmetic is row-independent, so splitting a
+    band into chunks leaves every pixel bit-identical.
+    """
+    if hi <= lo:
+        return None
+    if kernel == "block":
+        if profiled:
+            rows = BlockRowCounters(lo, hi)
+            composite_scanline_block(img, lo, hi, rle, fact, row_counters=rows)
+            if rec is not None:
+                tp0 = rec.now()
+            costs = scanline_cost_rows(rows)
+            if rec is not None:
+                # Nested inside this frame's composite span.
+                rec.span(frame, "profile", tp0, rec.now())
+            return costs
+        composite_scanline_block(img, lo, hi, rle, fact)
+        return None
+    if profiled:
+        costs = np.zeros(hi - lo, dtype=np.float64)
+        for v in range(lo, hi):
+            counters = WorkCounters()
+            composite_image_scanline(img, v, rle, fact, counters=counters)
+            costs[v - lo] = scanline_cost(counters)
+        return costs
+    for v in range(lo, hi):
+        composite_image_scanline(img, v, rle, fact)
+    return None
+
+
+def _claim_own_chunk(claims, lock, pid, chunk) -> tuple[int, int] | None:
+    """Advance this worker's head cursor by up to ``chunk`` scanlines."""
+    with lock:
+        lo = int(claims[pid, 0])
+        hi_lim = int(claims[pid, 1])
+        if lo >= hi_lim:
+            return None
+        hi = min(lo + chunk, hi_lim)
+        claims[pid, 0] = hi
+    return lo, hi
+
+
+def _steal_chunk(claims, locks, pid, chunk) -> tuple[int, int] | None:
+    """Trim up to ``chunk`` scanlines off the most-loaded victim's tail.
+
+    The victim scan reads the cursors without locks (stale values only
+    cost us a sub-optimal victim); the claim itself re-checks under the
+    victim's lock, so a scanline is never handed out twice.  Returns
+    ``None`` once no victim has unclaimed work left.
+    """
+    n_procs = len(locks)
+    while True:
+        best, best_rem = -1, 0
+        for q in range(n_procs):
+            if q == pid:
+                continue
+            rem = int(claims[q, 1]) - int(claims[q, 0])
+            if rem > best_rem:
+                best, best_rem = q, rem
+        if best < 0:
+            return None
+        with locks[best]:
+            lo = int(claims[best, 0])
+            hi = int(claims[best, 1])
+            if hi > lo:
+                new_tail = max(lo, hi - chunk)
+                claims[best, 1] = new_tail
+                return new_tail, hi
+        # Raced: the victim drained between scan and lock — rescan.
+
+
 def _worker_loop(pid: int) -> None:
     """Composite and warp this worker's partition, frame after frame."""
     renderer: ShearWarpRenderer = _G["renderer"]
@@ -142,6 +281,16 @@ def _worker_loop(pid: int) -> None:
     cap_fy, cap_fx = _G["final_cap"]
     inter_floats = cap_iv * cap_iu
     final_floats = cap_fy * cap_fx
+    steal_chunk: int = _G["steal_chunk"]
+    claim_locks = _G["claim_locks"]
+    shm_c = _G.get("shm_c")
+    # (buffers, n_procs, 2) head/tail cursors; None when stealing is off.
+    claims = (
+        np.ndarray((_G["buffers"], _G["n_procs"], 2), np.int64, buffer=shm_c.buf)
+        if shm_c is not None else None
+    )
+    delay = _TEST_ROW_DELAY
+    burn_per_row = delay[1] if delay is not None and delay[0] == pid else 0.0
     # Tracing is opt-in: ``rec`` stays None on untraced pools and every
     # recording site below is guarded, so the disabled path does zero
     # observability work (no clock reads, no allocation).
@@ -160,7 +309,9 @@ def _worker_loop(pid: int) -> None:
         if rec is not None:
             rec.span(frame, "wait", t_wait0, rec.now())
         err: str | None = None
-        costs: np.ndarray | None = None
+        # Per-chunk cost fragments [(v_start, costs)] on profiled frames.
+        frags: list[tuple[int, np.ndarray]] | None = [] if profiled else None
+        n_steals = n_steal_rows = n_rows = 0
         t_comp = t_warp = 0.0
         # Span clocks pre-bound so the finally block can record even when
         # a phase died before its start time was taken (the bogus span is
@@ -196,32 +347,54 @@ def _worker_loop(pid: int) -> None:
                     rec.span(frame, "decode", td0, tc0)
                     cache = rle.slice_cache
                     cache_stats0 = (cache.hits, cache.misses)
-                if kernel == "block":
-                    if profiled:
-                        rows = BlockRowCounters(v_lo, v_hi)
-                        composite_scanline_block(img, v_lo, v_hi, rle, fact,
-                                                 row_counters=rows)
-                        if rec is not None:
-                            tp0 = rec.now()
-                        costs = scanline_cost_rows(rows)
-                        if rec is not None:
-                            # Nested inside this frame's composite span.
-                            rec.span(frame, "profile", tp0, rec.now())
-                    else:
-                        composite_scanline_block(img, v_lo, v_hi, rle, fact)
+                if claims is None:
+                    # Static pool: one kernel call over the whole band.
+                    frag = _composite_range(img, v_lo, v_hi, rle, fact,
+                                            kernel, profiled, rec, frame)
+                    n_rows = max(0, v_hi - v_lo)
+                    if frag is not None:
+                        frags.append((v_lo, frag))
+                    if burn_per_row:
+                        _burn(burn_per_row * n_rows)
                 else:
-                    if profiled:
-                        costs = np.zeros(max(0, v_hi - v_lo), dtype=np.float64)
-                    for v in range(v_lo, v_hi):
-                        if costs is not None:
-                            counters = WorkCounters()
-                            composite_image_scanline(img, v, rle, fact,
-                                                     counters=counters)
-                            costs[v - v_lo] = scanline_cost(counters)
-                        else:
-                            composite_image_scanline(img, v, rle, fact)
+                    cl = claims[buf]
+                    my_lock = claim_locks[pid]
+                    # Drain the head of our own block, chunk by chunk...
+                    while True:
+                        got = _claim_own_chunk(cl, my_lock, pid, steal_chunk)
+                        if got is None:
+                            break
+                        lo, hi = got
+                        frag = _composite_range(img, lo, hi, rle, fact,
+                                                kernel, profiled, rec, frame)
+                        n_rows += hi - lo
+                        if frag is not None:
+                            frags.append((lo, frag))
+                        if burn_per_row:
+                            _burn(burn_per_row * (hi - lo))
+                    # ...then turn thief until every block is drained.
+                    while True:
+                        if rec is not None:
+                            ts0 = rec.now()
+                        got = _steal_chunk(cl, claim_locks, pid, steal_chunk)
+                        if got is None:
+                            break
+                        if rec is not None:
+                            rec.span(frame, "steal", ts0, rec.now())
+                        lo, hi = got
+                        n_steals += 1
+                        n_steal_rows += hi - lo
+                        frag = _composite_range(img, lo, hi, rle, fact,
+                                                kernel, profiled, rec, frame)
+                        n_rows += hi - lo
+                        if frag is not None:
+                            frags.append((lo, frag))
+                        if burn_per_row:
+                            _burn(burn_per_row * (hi - lo))
                 if rec is not None:
-                    rec.count(frame, "rows", v_hi - v_lo)
+                    rec.count(frame, "rows", n_rows)
+                    rec.count(frame, "steals", n_steals)
+                    rec.count(frame, "steal_rows", n_steal_rows)
                     rec.count(frame, "cache_hits", cache.hits - cache_stats0[0])
                     rec.count(frame, "cache_misses",
                               cache.misses - cache_stats0[1])
@@ -249,17 +422,20 @@ def _worker_loop(pid: int) -> None:
                 (cap_fy, cap_fx), np.float32, buffer=shm_f.buf,
                 offset=(base_f + final_floats) * 4,
             )[:ny, :nx]
+            coeffs = warp_coeffs(fact)  # one 2x2 inverse per frame
             for y in warp_rows:
-                warp_scanline(final, y, img, fact, line_owner=owner, pid=pid)
+                warp_scanline(final, int(y), img, fact, line_owner=owner,
+                              pid=pid, coeffs=coeffs)
             t_warp = time.process_time() - t1
             if rec is not None:
                 rec.span(frame, "warp", tw0, rec.now())
         except Exception as exc:  # noqa: BLE001 - forwarded to the parent
             err = f"{type(exc).__name__}: {exc}"
-            costs = None
+            frags = None
         if rec is not None:
             t_wait0 = rec.now()
-        done.put((pid, frame, err, int(v_lo), costs, t_comp, t_warp))
+        done.put((pid, frame, err, frags, t_comp, t_warp,
+                  n_steals, n_steal_rows))
 
 
 class MPRenderPool:
@@ -289,6 +465,17 @@ class MPRenderPool:
         the uniform equal-count split.  The partition only changes *who
         composites which scanlines*, so the images are bit-identical
         across settings.
+    stealing:
+        Run the paper's chunked task stealing (section 4.4) on top of
+        the static partition: compositing assignments become shared
+        claim cursors, and a worker that drains its own block trims
+        chunks off the most-loaded sibling's tail.  On by default;
+        irrelevant with one worker.  Stealing never changes a pixel —
+        only who composites it — so images stay bit-identical on or off.
+    steal_chunk:
+        Scanlines per claim/steal (the paper's chunk size trade-off:
+        bigger chunks amortise synchronization, smaller ones balance
+        better at the tail).
     trace:
         Record per-worker phase spans and counters into shared-memory
         ring buffers (:mod:`repro.obs`).  Completed frames carry a
@@ -306,6 +493,8 @@ class MPRenderPool:
         kernel: str = "block",
         buffers: int = 2,
         profile_period: int = 5,
+        stealing: bool = True,
+        steal_chunk: int = DEFAULT_STEAL_CHUNK,
         trace: bool = False,
         trace_capacity: int = DEFAULT_RING_CAPACITY,
     ) -> None:
@@ -317,6 +506,8 @@ class MPRenderPool:
             raise ValueError("need at least one image buffer")
         if profile_period < 0:
             raise ValueError("profile_period must be >= 0 (0 disables profiling)")
+        if steal_chunk < 1:
+            raise ValueError("steal_chunk must be >= 1 scanline")
         if trace_capacity < 1:
             raise ValueError("trace_capacity must be >= 1")
         if mp.get_start_method(allow_none=True) not in (None, "fork"):
@@ -329,13 +520,17 @@ class MPRenderPool:
         self._closed = False
         self._workers: list = []
         self._job_queues: list = []
-        self._shm_i = self._shm_f = self._shm_t = None
+        self._shm_i = self._shm_f = self._shm_c = self._shm_t = None
 
         self.renderer = renderer
         self.n_procs = int(n_procs)
         self.kernel = kernel
         self.buffers = int(buffers)
         self.profile_period = int(profile_period)
+        self.stealing = bool(stealing)
+        self.steal_chunk = int(steal_chunk)
+        # One worker has nobody to steal from; skip the claim traffic.
+        self._steal_active = self.stealing and self.n_procs > 1
         self.trace = bool(trace)
         self.trace_capacity = int(trace_capacity)
         self._schedule = (
@@ -374,6 +569,18 @@ class MPRenderPool:
         np.ndarray(
             (self.buffers * 2 * self._final_floats,), np.float32, buffer=self._shm_f.buf
         ).fill(0.0)
+        # Claim cursors for chunked stealing: one (head, tail) int64 pair
+        # per worker per image buffer, zeroed so an uninitialised slot
+        # reads as an empty (drained) assignment.
+        self._claims: np.ndarray | None = None
+        if self._steal_active:
+            self._shm_c = shared_memory.SharedMemory(
+                create=True, size=self.buffers * self.n_procs * 2 * 8
+            )
+            self._claims = np.ndarray(
+                (self.buffers, self.n_procs, 2), np.int64, buffer=self._shm_c.buf
+            )
+            self._claims.fill(0)
 
         # Observability: the registry always exists (submit updates pool
         # health gauges either way); the span rings are allocated only
@@ -400,6 +607,12 @@ class MPRenderPool:
         ctx = mp.get_context("fork")
         self._job_queues = [ctx.SimpleQueue() for _ in range(self.n_procs)]
         self._done_queue = ctx.Queue()
+        # One lock per worker's claim cursor pair: the owner takes only
+        # its own lock, a thief takes only the victim's — claim and steal
+        # never serialise unrelated workers.
+        claim_locks = (
+            [ctx.Lock() for _ in range(self.n_procs)] if self._steal_active else []
+        )
         _G.update(
             renderer=self.renderer,
             kernel=self.kernel,
@@ -410,6 +623,11 @@ class MPRenderPool:
             shm_f=self._shm_f,
             inter_cap=self.inter_cap,
             final_cap=self.final_cap,
+            buffers=self.buffers,
+            n_procs=self.n_procs,
+            steal_chunk=self.steal_chunk,
+            claim_locks=claim_locks,
+            shm_c=self._shm_c,
             shm_t=self._shm_t,
             trace_capacity=self.trace_capacity,
             trace_epoch=self._trace_epoch,
@@ -497,13 +715,9 @@ class MPRenderPool:
         self._last_boundaries = boundaries
         self._last_part_key = part_key
         owner = line_ownership(boundaries, n_v)
-        src_lines = final_pixel_source_lines((ny, nx), fact)
-        rows_by_pid: list[list[int]] = [[] for _ in range(self.n_procs)]
-        for y in range(ny):
-            vmin = min(max(int(src_lines[y, 0]), 0), n_v - 1)
-            vmax = min(max(int(src_lines[y, 1]), vmin + 1), n_v)
-            for pid in np.unique(owner[vmin:vmax]):
-                rows_by_pid[int(pid)].append(y)
+        coeffs = warp_coeffs(fact)
+        src_lines = final_pixel_source_lines((ny, nx), fact, coeffs=coeffs)
+        rows_by_pid = warp_rows_by_pid(src_lines, owner, self.n_procs)
 
         # Everything fallible is done — only now claim a frame id and a
         # buffer, so a failed submit leaves no bookkeeping behind (no
@@ -519,6 +733,14 @@ class MPRenderPool:
         self._buf_frame[buf] = frame
         self._buf_dirty[buf] = ((n_v, n_u), (ny, nx))
 
+        if self._claims is not None:
+            # Seed the claim cursors to the static boundaries *before*
+            # the jobs go out — the queue put is the happens-before edge
+            # that makes these writes visible to every worker (and no
+            # worker touches this buffer slot until its job arrives: the
+            # slot's previous frame was fully collected above).
+            self._claims[buf, :, 0] = boundaries[:-1]
+            self._claims[buf, :, 1] = boundaries[1:]
         for pid in range(self.n_procs):
             self._job_queues[pid].put(
                 (
@@ -544,6 +766,8 @@ class MPRenderPool:
             "busy": np.zeros(self.n_procs, dtype=np.float64),
             "boundaries": boundaries,
             "key": (fact.axis, fact.perm),
+            "steals": 0,
+            "steal_rows": 0,
         }
         return frame
 
@@ -610,32 +834,41 @@ class MPRenderPool:
 
     def _handle_done(self, msg: tuple) -> None:
         """Account one worker's done message to its frame's record."""
-        pid, frame, err, part_lo, costs, t_comp, t_warp = msg
+        pid, frame, err, frags, t_comp, t_warp, n_steals, n_steal_rows = msg
         rec = self._inflight.get(frame)
         if rec is None:
             return
         rec["done"] += 1
         rec["busy"][pid] = t_comp + t_warp
+        rec["steals"] += int(n_steals)
+        rec["steal_rows"] += int(n_steal_rows)
         if err is not None:
             rec["errors"].append(f"worker {pid}: {err}")
-        elif costs is not None and len(costs):
+        elif frags:
             if rec["costs"] is None:
                 rec["costs"] = np.zeros(
                     max(0, rec["v_hi"] - rec["v_lo"]), dtype=np.float64
                 )
             # Calibrate the op-count profile to measured *time*, which is
             # what the partition must balance (the paper's native profile
-            # is elapsed time too): scale this worker's fragment so it
-            # sums to its compositing CPU time, then spread its warp CPU
-            # time evenly over its scanlines — warp rows follow scanline
-            # ownership, so warp load moves with the boundaries.
-            frag = np.asarray(costs, dtype=np.float64)
-            total = frag.sum()
-            if total > 0 and t_comp > 0:
-                frag = frag * (t_comp / total)
-            frag = frag + t_warp / len(frag)
-            lo = part_lo - rec["v_lo"]
-            rec["costs"][lo:lo + len(frag)] = frag
+            # is elapsed time too): scale every chunk this worker
+            # composited — including rows it stole — so together they sum
+            # to its compositing CPU time.  Each scanline was composited
+            # by exactly one worker, so the assembled profile covers every
+            # row exactly once even when rows crossed blocks.
+            total = sum(float(f.sum()) for _, f in frags)
+            scale = (t_comp / total) if total > 0 and t_comp > 0 else 1.0
+            base = rec["v_lo"]
+            for chunk_lo, f in frags:
+                off = chunk_lo - base
+                rec["costs"][off:off + len(f)] = np.asarray(f, np.float64) * scale
+            # Warp CPU time is spread over this worker's *static* block
+            # (warp rows follow the boundaries, not who stole what), so
+            # warp load moves with the boundaries on the next partition.
+            b = rec["boundaries"]
+            blo, bhi = int(b[pid]), int(b[pid + 1])
+            if bhi > blo:
+                rec["costs"][blo - base:bhi - base] += t_warp / (bhi - blo)
         if rec["done"] >= self.n_procs:
             self._finish(frame)
 
@@ -653,6 +886,9 @@ class MPRenderPool:
         if timeline is not None:
             self.timelines.append(timeline)
             metrics_from_timelines([timeline], self.metrics)
+        if rec["steals"]:
+            self.metrics.counter("pool/steals").inc(rec["steals"])
+            self.metrics.counter("pool/steal_rows").inc(rec["steal_rows"])
         if rec["profiled"] and rec["costs"] is not None:
             self._profile = ScanlineProfile(rec["v_lo"], rec["costs"])
             self._profile_key = rec["key"]
@@ -703,6 +939,8 @@ class MPRenderPool:
             profiled=info["profiled"],
             busy_s=info["busy"],
             timeline=timeline,
+            steals=info["steals"],
+            steal_rows=info["steal_rows"],
         )
 
     # -- shared-buffer plumbing ----------------------------------------------
@@ -741,6 +979,8 @@ class MPRenderPool:
             "n_procs": self.n_procs,
             "kernel": self.kernel,
             "profile_period": self.profile_period,
+            "stealing": self._steal_active,
+            "steal_chunk": self.steal_chunk,
             "frames": len(self.timelines),
         }
         if metadata:
@@ -774,7 +1014,7 @@ class MPRenderPool:
                     w.join()
             except Exception:  # noqa: BLE001 - teardown must not raise
                 pass
-        for name in ("_shm_i", "_shm_f", "_shm_t"):
+        for name in ("_shm_i", "_shm_f", "_shm_c", "_shm_t"):
             shm = getattr(self, name, None)
             if shm is None:
                 continue
@@ -803,6 +1043,8 @@ def render_parallel_mp(
     n_procs: int = 2,
     kernel: str = "block",
     profile_period: int = 0,
+    stealing: bool = True,
+    steal_chunk: int = DEFAULT_STEAL_CHUNK,
     trace: bool = False,
 ) -> MPRenderResult:
     """Render one frame with ``n_procs`` worker processes.
@@ -823,6 +1065,7 @@ def render_parallel_mp(
     """
     with MPRenderPool(
         renderer, n_procs=n_procs, kernel=kernel, buffers=1,
-        profile_period=profile_period, trace=trace,
+        profile_period=profile_period, stealing=stealing,
+        steal_chunk=steal_chunk, trace=trace,
     ) as pool:
         return pool.render(view)

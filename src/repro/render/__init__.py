@@ -7,7 +7,14 @@ from .instrument import ListTraceSink, Region, SegmentedTraceSink, TraceSink, Wo
 from .fast import composite_frame_fast, render_fast, warp_frame_fast
 from .serial import RenderResult, ShearWarpRenderer
 from .shading import NormalTable, PhongParameters, central_gradients, shade_volume
-from .warp import final_pixel_source_lines, warp_frame, warp_scanline, warp_tile
+from .warp import (
+    final_pixel_source_lines,
+    warp_coeffs,
+    warp_frame,
+    warp_rows_by_pid,
+    warp_scanline,
+    warp_tile,
+)
 
 __all__ = [
     "BlockRowCounters",
@@ -34,7 +41,9 @@ __all__ = [
     "RenderResult",
     "ShearWarpRenderer",
     "final_pixel_source_lines",
+    "warp_coeffs",
     "warp_frame",
+    "warp_rows_by_pid",
     "warp_scanline",
     "warp_tile",
 ]

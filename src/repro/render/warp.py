@@ -17,13 +17,31 @@ from ..transforms.factorization import ShearWarpFactorization
 from .image import FinalImage, IntermediateImage
 from .instrument import Region, TraceSink, WorkCounters
 
-__all__ = ["warp_scanline", "warp_tile", "warp_frame", "final_pixel_source_lines"]
+__all__ = [
+    "warp_coeffs",
+    "warp_scanline",
+    "warp_tile",
+    "warp_frame",
+    "final_pixel_source_lines",
+    "warp_rows_by_pid",
+]
 
 
 def _inverse_coeffs(fact: ShearWarpFactorization) -> tuple[np.ndarray, np.ndarray]:
     a_inv = np.linalg.inv(fact.warp[:2, :2])
     b = fact.warp[:2, 2]
     return a_inv, b
+
+
+def warp_coeffs(fact: ShearWarpFactorization) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse-mapping coefficients ``(a_inv, b)`` of the residual warp.
+
+    Constant for a whole frame.  Every warp entry point accepts the pair
+    through its ``coeffs`` kwarg; callers that warp scanline-by-scanline
+    (the parallel renderers) compute it once per frame instead of paying
+    a 2x2 ``np.linalg.inv`` per final-image row.
+    """
+    return _inverse_coeffs(fact)
 
 
 def warp_scanline(
@@ -37,20 +55,22 @@ def warp_scanline(
     pid: int | None = None,
     counters: WorkCounters | None = None,
     trace: TraceSink | None = None,
+    coeffs: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> int:
     """Warp final-image row ``y`` (columns ``[x_lo, x_hi)``).
 
     When ``line_owner``/``pid`` are given (new algorithm), only the
     pixels whose *source scanline pair* is owned by processor ``pid``
     are written — this is how write-sharing on the final image is
-    eliminated without synchronization.  Returns the number of final
-    pixels written.
+    eliminated without synchronization.  ``coeffs`` is the frame's
+    precomputed :func:`warp_coeffs` pair (derived from ``fact`` when
+    omitted).  Returns the number of final pixels written.
     """
     if x_hi is None:
         x_hi = final.nx
     if x_hi <= x_lo:
         return 0
-    a_inv, b = _inverse_coeffs(fact)
+    a_inv, b = coeffs if coeffs is not None else _inverse_coeffs(fact)
     xs = np.arange(x_lo, x_hi, dtype=np.float64)
     dx = xs - b[0]
     dy = float(y) - b[1]
@@ -125,12 +145,15 @@ def warp_tile(
     fact: ShearWarpFactorization,
     counters: WorkCounters | None = None,
     trace: TraceSink | None = None,
+    coeffs: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> int:
     """Warp a rectangular tile of the final image (old algorithm's task)."""
+    if coeffs is None:
+        coeffs = _inverse_coeffs(fact)
     n = 0
     for y in range(y0, min(y1, final.ny)):
         n += warp_scanline(final, y, img, fact, x0, min(x1, final.nx),
-                           counters=counters, trace=trace)
+                           counters=counters, trace=trace, coeffs=coeffs)
     return n
 
 
@@ -140,27 +163,56 @@ def warp_frame(
     fact: ShearWarpFactorization,
     counters: WorkCounters | None = None,
     trace: TraceSink | None = None,
+    coeffs: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> FinalImage:
     """Serially warp the whole final image."""
+    if coeffs is None:
+        coeffs = _inverse_coeffs(fact)
     for y in range(final.ny):
-        warp_scanline(final, y, img, fact, counters=counters, trace=trace)
+        warp_scanline(final, y, img, fact, counters=counters, trace=trace,
+                      coeffs=coeffs)
     return final
 
 
 def final_pixel_source_lines(
-    final_shape: tuple[int, int], fact: ShearWarpFactorization
+    final_shape: tuple[int, int],
+    fact: ShearWarpFactorization,
+    coeffs: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> np.ndarray:
     """For each final row ``y``, the (min, max) intermediate scanline sampled.
 
     Used by the new algorithm to find, cheaply, which final rows a
-    processor's intermediate partition can contribute to.
+    processor's intermediate partition can contribute to.  Vectorized
+    over rows; bit-equal to evaluating the two warped corners per row.
     """
     ny, nx = final_shape
-    a_inv, b = _inverse_coeffs(fact)
+    a_inv, b = coeffs if coeffs is not None else _inverse_coeffs(fact)
     corners_x = np.array([0.0, nx - 1.0])
+    ys = np.arange(ny, dtype=np.float64)
+    v = a_inv[1, 0] * (corners_x[None, :] - b[0]) + a_inv[1, 1] * (ys[:, None] - b[1])
     out = np.empty((ny, 2), dtype=np.int64)
-    for y in range(ny):
-        v = a_inv[1, 0] * (corners_x - b[0]) + a_inv[1, 1] * (y - b[1])
-        out[y, 0] = int(np.floor(v.min()))
-        out[y, 1] = int(np.floor(v.max())) + 1
+    out[:, 0] = np.floor(v.min(axis=1)).astype(np.int64)
+    out[:, 1] = np.floor(v.max(axis=1)).astype(np.int64) + 1
     return out
+
+
+def warp_rows_by_pid(
+    src_lines: np.ndarray, owner: np.ndarray, n_procs: int
+) -> list[np.ndarray]:
+    """Final rows each processor must warp, from source-line ownership.
+
+    Row ``y`` belongs to processor ``p`` iff the intermediate-scanline
+    window ``src_lines[y]`` (clipped to the image) contains at least one
+    scanline ``owner`` assigns to ``p`` — the same membership the
+    per-row ``np.unique`` loop computes, evaluated for all rows at once
+    with a per-processor ownership prefix count (O(n_v·P + ny·P) instead
+    of O(ny · window · log)).
+    """
+    n_v = len(owner)
+    vmin = np.clip(src_lines[:, 0], 0, n_v - 1)
+    vmax = np.clip(src_lines[:, 1], vmin + 1, n_v)
+    onehot = owner[:, None] == np.arange(n_procs)
+    pref = np.zeros((n_v + 1, n_procs), dtype=np.int64)
+    pref[1:] = np.cumsum(onehot, axis=0)
+    hit = (pref[vmax] - pref[vmin]) > 0
+    return [np.nonzero(hit[:, p])[0].astype(np.int64) for p in range(n_procs)]

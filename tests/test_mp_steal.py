@@ -1,0 +1,175 @@
+"""Tests for chunked task stealing in the MP render pool (paper §4.4).
+
+Stealing moves *who composites which scanlines*, never what gets
+composited — so the invariant under test throughout is bit-identity
+against the purely static pool, with the dynamic behaviour (steal
+counts, busy-time rebalancing, observability counters) layered on top
+via the deterministic imbalance-injection hook.
+"""
+
+import numpy as np
+import pytest
+
+import repro.parallel.mp_backend as mpb
+from repro.datasets import density_wedge
+from repro.parallel.mp_backend import MPRenderPool
+from repro.render import ShearWarpRenderer
+from repro.volume import mri_transfer_function
+
+
+@pytest.fixture(scope="module")
+def renderer():
+    # The skewed-load phantom: the worst case for a uniform contiguous
+    # split, hence the input where stealing has real work to move.
+    return ShearWarpRenderer(density_wedge((24, 24, 16)), mri_transfer_function())
+
+
+def _render_pool(renderer, view, **kwargs):
+    with MPRenderPool(renderer, **kwargs) as pool:
+        return pool.render(view)
+
+
+class TestStealBitIdentity:
+    @pytest.mark.parametrize("kernel", ["block", "scanline"])
+    def test_stealing_bit_identical_to_static_pool(self, renderer, kernel,
+                                                   monkeypatch):
+        """Static pool vs. stealing pool under forced steals: every pixel
+        of both images must match exactly, for both kernels."""
+        view = renderer.view_from_angles(20, 30, 0)
+        ref = _render_pool(renderer, view, n_procs=3, kernel=kernel,
+                           stealing=False, profile_period=0)
+        assert ref.steals == 0 and ref.steal_rows == 0
+        # Slow worker 0 down so its siblings actually turn thief (the
+        # hook reaches the workers through fork, so set it pre-pool).
+        monkeypatch.setattr(mpb, "_TEST_ROW_DELAY", (0, 0.002))
+        res = _render_pool(renderer, view, n_procs=3, kernel=kernel,
+                           stealing=True, steal_chunk=2, profile_period=0)
+        assert np.array_equal(res.final.color, ref.final.color)
+        assert np.array_equal(res.final.alpha, ref.final.alpha)
+        assert np.array_equal(res.intermediate.color, ref.intermediate.color)
+        assert np.array_equal(res.intermediate.opacity, ref.intermediate.opacity)
+
+    def test_stealing_bit_identical_with_profile_loop(self, renderer):
+        """Profiled frames ship per-chunk cost fragments; a short
+        animation with the feedback loop active must stay bit-identical
+        to the static profiled pool frame by frame."""
+        views = [renderer.view_from_angles(20, 30 + 4 * i, 0) for i in range(4)]
+        for stealing in (False, True):
+            with MPRenderPool(renderer, n_procs=2, profile_period=2,
+                              stealing=stealing, steal_chunk=2) as pool:
+                frames = [pool.submit(v) for v in views]
+                results = [pool.result(f) for f in frames]
+            if stealing:
+                for got, want in zip(results, static):
+                    assert np.array_equal(got.final.color, want.final.color)
+                    assert np.array_equal(got.final.alpha, want.final.alpha)
+                # The feedback loop actually ran (first frame profiled,
+                # later frames partitioned from the measured profile).
+                assert results[0].profiled
+                assert not results[-1].profiled
+            else:
+                static = results
+
+
+class TestForcedImbalance:
+    def test_steals_happen_and_rebalance_busy_time(self, renderer, monkeypatch):
+        """With one worker slowed 4 ms/row, the thief must take work
+        (steals > 0) and the slow worker's busy time must drop."""
+        monkeypatch.setattr(mpb, "_TEST_ROW_DELAY", (0, 0.004))
+        view = renderer.view_from_angles(20, 30, 0)
+        ref = _render_pool(renderer, view, n_procs=2, stealing=False,
+                           profile_period=0, trace=True)
+        res = _render_pool(renderer, view, n_procs=2, stealing=True,
+                           steal_chunk=2, profile_period=0, trace=True)
+        assert res.steals > 0
+        assert res.steal_rows >= res.steals
+        # The slow worker sheds rows to the thief: its busy time (the
+        # frame's critical path) must come down, and with it the spread.
+        assert max(res.busy_s) < max(ref.busy_s)
+        assert res.busy_spread < ref.busy_spread
+        assert np.array_equal(res.final.color, ref.final.color)
+
+    def test_steal_counters_flow_through_trace(self, renderer, monkeypatch):
+        """The steals/steal_rows the result reports must equal what the
+        workers recorded into the span rings, and a steal span must be
+        present in the timeline."""
+        monkeypatch.setattr(mpb, "_TEST_ROW_DELAY", (0, 0.004))
+        view = renderer.view_from_angles(20, 30, 0)
+        with MPRenderPool(renderer, n_procs=2, stealing=True, steal_chunk=2,
+                          profile_period=0, trace=True) as pool:
+            res = pool.render(view)
+            metrics = pool.metrics
+        assert res.steals > 0
+        totals = res.timeline.counter_totals()
+        assert totals["steals"] == res.steals
+        assert totals["steal_rows"] == res.steal_rows
+        assert "steal" in res.timeline.phase_seconds()
+        # Pool-level counters aggregate the same numbers.
+        assert metrics.counter("pool/steals").value == res.steals
+        assert metrics.counter("pool/steal_rows").value == res.steal_rows
+
+
+class TestStealDisabled:
+    def test_disabled_pool_records_zero_steal_events(self, renderer, monkeypatch):
+        """stealing=False must leave no steal trace anywhere, even under
+        imbalance: no claim segment, no counters, no spans."""
+        monkeypatch.setattr(mpb, "_TEST_ROW_DELAY", (0, 0.002))
+        view = renderer.view_from_angles(20, 30, 0)
+        with MPRenderPool(renderer, n_procs=2, stealing=False,
+                          profile_period=0, trace=True) as pool:
+            assert pool._shm_c is None
+            res = pool.render(view)
+        assert res.steals == 0 and res.steal_rows == 0
+        totals = res.timeline.counter_totals()
+        assert "steals" not in totals and "steal_rows" not in totals
+        assert "steal" not in res.timeline.phase_seconds()
+
+    def test_single_worker_pool_never_steals(self, renderer):
+        """One worker has no victim: the claim machinery is skipped
+        entirely (no shm segment) even with stealing=True."""
+        view = renderer.view_from_angles(20, 30, 0)
+        with MPRenderPool(renderer, n_procs=1, stealing=True) as pool:
+            assert pool._shm_c is None
+            res = pool.render(view)
+        assert res.steals == 0
+
+
+class TestStealValidation:
+    def test_rejects_zero_chunk(self, renderer):
+        with pytest.raises(ValueError, match="steal_chunk"):
+            MPRenderPool(renderer, n_procs=2, steal_chunk=0)
+
+    def test_render_parallel_mp_passes_stealing_through(self, renderer):
+        view = renderer.view_from_angles(20, 30, 0)
+        ref = mpb.render_parallel_mp(renderer, view, n_procs=2, stealing=False)
+        res = mpb.render_parallel_mp(renderer, view, n_procs=2, stealing=True,
+                                     steal_chunk=1)
+        assert np.array_equal(res.final.color, ref.final.color)
+
+
+class TestClaimShmTeardown:
+    def test_failed_init_unlinks_claim_segment(self, renderer, monkeypatch):
+        """Construction dying *after* the claim-cursor segment is
+        allocated must unlink it along with the image segments."""
+        real = mpb.shared_memory.SharedMemory
+        made = []
+        calls = {"n": 0}
+
+        class Flaky:
+            def __new__(cls, *args, **kwargs):
+                calls["n"] += 1
+                if calls["n"] == 4:  # shm_i, shm_f, shm_c, then boom
+                    raise OSError("injected shm allocation failure")
+                seg = real(*args, **kwargs)
+                made.append(seg.name)
+                return seg
+
+        monkeypatch.setattr(mpb.shared_memory, "SharedMemory", Flaky)
+        with pytest.raises(OSError, match="injected"):
+            MPRenderPool(renderer, n_procs=2, stealing=True, trace=True)
+        assert len(made) == 3
+        monkeypatch.undo()
+        from multiprocessing import shared_memory as sm
+        for name in made:
+            with pytest.raises(FileNotFoundError):
+                sm.SharedMemory(name=name)

@@ -12,7 +12,9 @@ from repro.render import (
 )
 from repro.render.warp import (
     final_pixel_source_lines,
+    warp_coeffs,
     warp_frame,
+    warp_rows_by_pid,
     warp_scanline,
     warp_tile,
 )
@@ -82,6 +84,54 @@ class TestWarpKernels:
             v0 = np.floor(uv[:, 1])
             assert src[y, 0] <= v0.min()
             assert src[y, 1] >= v0.max() + 1
+
+
+class TestWarpVectorization:
+    """The vectorized helpers must match their scalar-loop references."""
+
+    def test_precomputed_coeffs_bit_identical(self, scene):
+        _, fact, img = scene
+        plain = FinalImage(fact.final_shape)
+        hoisted = FinalImage(fact.final_shape)
+        coeffs = warp_coeffs(fact)
+        for y in range(plain.ny):
+            warp_scanline(plain, y, img, fact)
+            warp_scanline(hoisted, y, img, fact, coeffs=coeffs)
+        assert np.array_equal(plain.color, hoisted.color)
+        assert np.array_equal(plain.alpha, hoisted.alpha)
+
+    def test_source_lines_match_per_row_loop(self, scene):
+        _, fact, _ = scene
+        ny, nx = fact.final_shape
+        a_inv, b = warp_coeffs(fact)
+        want = np.empty((ny, 2), dtype=np.int64)
+        for y in range(ny):
+            vs = [
+                a_inv[1, 0] * (x - b[0]) + a_inv[1, 1] * (y - b[1])
+                for x in (0.0, nx - 1.0)
+            ]
+            want[y, 0] = int(np.floor(min(vs)))
+            want[y, 1] = int(np.floor(max(vs))) + 1
+        got = final_pixel_source_lines(fact.final_shape, fact)
+        assert np.array_equal(got, want)
+
+    @pytest.mark.parametrize("n_procs", [1, 3, 4])
+    def test_rows_by_pid_match_unique_loop(self, scene, n_procs):
+        _, fact, img = scene
+        src = final_pixel_source_lines(fact.final_shape, fact)
+        n_v = img.n_v
+        # Non-monotonic ownership on purpose: the helper must not assume
+        # contiguous blocks (line_ownership's empty margins are striped).
+        owner = (np.arange(n_v) * 7) % n_procs
+        want = [[] for _ in range(n_procs)]
+        for y in range(fact.final_shape[0]):
+            vmin = min(max(int(src[y, 0]), 0), n_v - 1)
+            vmax = min(max(int(src[y, 1]), vmin + 1), n_v)
+            for pid in np.unique(owner[vmin:vmax]):
+                want[int(pid)].append(y)
+        got = warp_rows_by_pid(src, owner, n_procs)
+        for pid in range(n_procs):
+            assert list(got[pid]) == want[pid]
 
 
 class TestWarpGeometry:
