@@ -1,0 +1,196 @@
+"""Cost of the pool's fault tolerance: healthy overhead and recovery latency.
+
+The supervised pool (worker sentinels, per-frame deadlines, frame retry)
+must be close to free when nothing fails — the paper's whole point is
+that the partitioned design wins on *throughput*, so supervision cannot
+tax the healthy path.  Two measurements on the real multiprocessing
+backend:
+
+* **healthy overhead** — the same short animation rendered with the
+  default supervision cadence (``poll_s=0.05``) and with the health
+  checks effectively parked (``poll_s=60``: done messages are still
+  consumed immediately, only the sentinel/deadline sweeps stop).  The
+  relative wall-clock difference is the price of supervision; the
+  target is < 2%.
+* **recovery latency** — the same animation with a deterministic
+  SIGKILL injected into one worker mid-animation (the ``_TEST_FAULT``
+  hook, the monkeypatch twin of ``REPRO_MP_FAULT``).  Reported: total
+  wall clock vs healthy, the supervisor's measured ``pool/recovery_s``
+  (terminate + respawn + re-dispatch), restart/retry counters, and
+  bit-identity of every frame against the healthy run.
+
+Results are published as ``BENCH_faults.json`` at the repository root.
+The non-smoke run fails if the healthy overhead exceeds the 2% target
+(with a noise allowance), if recovery did not actually happen, or if
+any recovered frame's image differs.
+
+Run:  python benchmarks/bench_faults.py [--smoke] [--procs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from common import Stopwatch, best_of, save_bench_json  # noqa: E402
+
+import repro.parallel.mp_backend as mpb  # noqa: E402
+from repro.datasets import mri_brain  # noqa: E402
+from repro.parallel.mp_backend import MPRenderPool, PoolConfig  # noqa: E402
+from repro.render import ShearWarpRenderer  # noqa: E402
+from repro.volume import mri_transfer_function  # noqa: E402
+
+SHAPE = (48, 48, 32)
+SMOKE_SHAPE = (24, 24, 16)
+#: Overhead reps: best-of filters host noise from a sub-percent signal.
+REPS = 5
+SMOKE_REPS = 2
+#: Allowance on top of the 2% target for wall-clock noise at this scale.
+NOISE_MARGIN = 0.02
+
+
+def animate(renderer, views, cfg: PoolConfig) -> dict:
+    """Render the animation once; return wall time, images, counters."""
+    with MPRenderPool(renderer, config=cfg) as pool:
+        pool.render(views[0])  # warm up fork + first slice decodes
+        with Stopwatch() as sw:
+            handles = [pool.submit(v) for v in views]
+            results = [pool.result(h) for h in handles]
+        counters = pool.fault_counters()
+        recovery = pool.metrics.snapshot()["histograms"].get("pool/recovery_s")
+    return {
+        "wall_s": sw.seconds,
+        "images": [(r.final.color, r.final.alpha) for r in results],
+        "retries": [r.retries for r in results],
+        "degraded": [r.degraded for r in results],
+        "counters": counters,
+        "recovery_s": recovery,
+    }
+
+
+def timed_animations(renderer, views, configs: dict, reps: int) -> dict:
+    """Best-of wall clock per config, reps *interleaved* across configs.
+
+    Back-to-back blocks of identical runs pick up slow drifts in host
+    load as a phantom config effect (several % at this scale — larger
+    than the signal); alternating the configs rep by rep exposes every
+    config to the same noise.
+    """
+
+    def run(cfg):
+        with MPRenderPool(renderer, config=cfg) as pool:
+            pool.render(views[0])
+            handles = [pool.submit(v) for v in views]
+            for h in handles:
+                pool.result(h)
+
+    best = {name: float("inf") for name in configs}
+    for _ in range(max(1, reps)):
+        for name, cfg in configs.items():
+            best[name] = min(best[name], best_of(lambda: run(cfg), 1))
+    return best
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small volume, short animation (CI smoke test)")
+    parser.add_argument("--procs", type=int, default=2)
+    parser.add_argument("--frames", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    shape = SMOKE_SHAPE if args.smoke else SHAPE
+    n_frames = args.frames if args.frames else (4 if args.smoke else 12)
+    reps = SMOKE_REPS if args.smoke else REPS
+    renderer = ShearWarpRenderer(mri_brain(shape), mri_transfer_function())
+    views = [renderer.view_from_angles(20, 30 + 3 * i, 0)
+             for i in range(n_frames)]
+    base = PoolConfig(n_procs=args.procs, profile_period=0)
+
+    # Healthy overhead: default cadence vs health checks parked.  Both
+    # configs run the supervisor thread and consume done messages the
+    # same way; only the sentinel/deadline sweep frequency differs.
+    timings = timed_animations(
+        renderer, views,
+        {"supervised": base, "parked": base.replace(poll_s=60.0)}, reps,
+    )
+    t_supervised, t_parked = timings["supervised"], timings["parked"]
+    overhead = (t_supervised - t_parked) / t_parked if t_parked > 0 else 0.0
+
+    # Recovery latency: kill worker 0 mid-animation (frame 1), compare
+    # against an unfaulted run of the identical animation.
+    healthy = animate(renderer, views, base)
+    mpb._TEST_FAULT = (0, 1, "kill", "composite")
+    try:
+        faulted = animate(renderer, views, base)
+    finally:
+        mpb._TEST_FAULT = None
+
+    exact = all(
+        np.array_equal(hc, fc) and np.array_equal(ha, fa)
+        for (hc, ha), (fc, fa) in zip(healthy["images"], faulted["images"])
+    )
+    recovered = (faulted["counters"]["worker_restarts"] >= 1
+                 and sum(faulted["retries"]) >= 1
+                 and not any(faulted["degraded"]))
+    recovery_hist = faulted["recovery_s"]
+
+    report = {
+        "benchmark": "faults",
+        "smoke": args.smoke,
+        "host_cpus": os.cpu_count(),
+        "phantom": {"name": "mri_brain", "shape": list(shape)},
+        "n_procs": args.procs,
+        "n_frames": n_frames,
+        "reps": reps,
+        "healthy": {
+            "supervised_ms_per_frame": round(t_supervised / n_frames * 1e3, 3),
+            "parked_ms_per_frame": round(t_parked / n_frames * 1e3, 3),
+            "supervision_overhead": round(overhead, 4),
+            "target": 0.02,
+        },
+        "faulted": {
+            "wall_s": round(faulted["wall_s"], 4),
+            "healthy_wall_s": round(healthy["wall_s"], 4),
+            "recovery_s": recovery_hist,
+            "counters": faulted["counters"],
+            "frame_retries": faulted["retries"],
+        },
+        "exact_equal_after_recovery": exact,
+        "recovered": recovered,
+    }
+
+    print(f"mri_brain {shape}, {args.procs} workers, {n_frames} frames, "
+          f"best of {reps}:")
+    print(f"  healthy: supervised {t_supervised / n_frames * 1e3:7.2f} "
+          f"ms/frame vs parked {t_parked / n_frames * 1e3:7.2f} ms/frame "
+          f"-> overhead {overhead * 100:+.2f}% (target < 2%)")
+    rec_mean = (recovery_hist or {}).get("mean", 0.0)
+    print(f"  faulted: {faulted['wall_s']:.3f} s wall "
+          f"(healthy {healthy['wall_s']:.3f} s), recovery "
+          f"{rec_mean * 1e3:.1f} ms, counters {faulted['counters']}")
+    print(f"  images bit-identical after recovery: {exact}; "
+          f"recovered without degradation: {recovered}")
+
+    out_path = save_bench_json("faults", report)
+    print(f"wrote {out_path}")
+
+    ok = exact and recovered
+    if not args.smoke:
+        # Smoke skips the overhead gate: sub-percent wall-clock deltas
+        # are pure noise at smoke scale and on loaded CI hosts.
+        ok &= overhead < 0.02 + NOISE_MARGIN
+    if not ok:
+        print("FAILED: overhead / recovery / bit-identity criterion not met",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,8 +32,8 @@ import time
 
 import numpy as np
 
+import repro
 from repro.datasets import mri_brain
-from repro.parallel.mp_backend import MPRenderPool, render_parallel_mp
 from repro.render import ShearWarpRenderer
 from repro.volume import mri_transfer_function
 
@@ -47,6 +47,8 @@ def main(size: int = 64, kernel: str = "block", profile_period: int = 4) -> None
     renderer = ShearWarpRenderer(volume, mri_transfer_function())
     views = [renderer.view_from_angles(20, 30 + 3 * i, 0) for i in range(N_FRAMES)]
     view = views[0]
+    # One config describes the whole study; each run varies one knob.
+    base = repro.PoolConfig(kernel=kernel, profile_period=0)
 
     t0 = time.perf_counter()
     ref = renderer.render(view)
@@ -56,7 +58,8 @@ def main(size: int = 64, kernel: str = "block", profile_period: int = 4) -> None
     print("\none-shot renders (fork + shared-memory setup every frame):")
     for workers in (1, 2, 4):
         t0 = time.perf_counter()
-        res = render_parallel_mp(renderer, view, n_procs=workers, kernel=kernel)
+        res = repro.render_frame(renderer, view,
+                                 config=base.replace(n_procs=workers))
         dt = time.perf_counter() - t0
         ok = np.array_equal(res.final.color, ref.final.color)
         print(f"  {workers} worker(s): {dt * 1e3:7.1f} ms/frame  "
@@ -65,8 +68,8 @@ def main(size: int = 64, kernel: str = "block", profile_period: int = 4) -> None
     print(f"\npersistent pool, {N_FRAMES}-frame animation (setup amortized, "
           "segments double-buffered, uniform split):")
     for workers in (1, 2, 4):
-        with MPRenderPool(renderer, n_procs=workers, kernel=kernel,
-                          profile_period=0) as pool:
+        with repro.open_pool(renderer,
+                             config=base.replace(n_procs=workers)) as pool:
             pool.render(views[0])  # warm up: fork + first slice decodes
             t0 = time.perf_counter()
             handles = [pool.submit(v) for v in views]
@@ -79,8 +82,11 @@ def main(size: int = 64, kernel: str = "block", profile_period: int = 4) -> None
     print(f"\nsame pool with the profile feedback loop "
           f"(re-profile every {profile_period} frames):")
     for workers in (2, 4):
-        with MPRenderPool(renderer, n_procs=workers, kernel=kernel,
-                          profile_period=profile_period) as pool:
+        with repro.open_pool(
+            renderer,
+            config=base.replace(n_procs=workers,
+                                profile_period=profile_period),
+        ) as pool:
             pool.render(views[0])  # warm up (also measures frame 0's profile)
             t0 = time.perf_counter()
             handles = [pool.submit(v) for v in views]

@@ -1,6 +1,25 @@
 """repro — reproduction of Jiang & Singh, "Improving Parallel Shear-Warp
 Volume Rendering on Shared Address Space Multiprocessors" (PPoPP 1997).
 
+Top-level facade
+----------------
+The stable entry points for rendering with the real multiprocessing
+backend live here, so callers configure everything through one
+:class:`PoolConfig` instead of threading keyword arguments through
+three layers::
+
+    import repro
+
+    cfg = repro.PoolConfig(n_procs=4, profile_period=5)
+    res = repro.render_frame(renderer, view, config=cfg)   # one frame
+
+    with repro.open_pool(renderer, config=cfg) as pool:    # animation
+        handles = [pool.submit(v) for v in views]
+        results = [pool.result(h) for h in handles]
+
+Everything is imported lazily: ``import repro`` stays cheap and pulls
+in numpy-heavy modules only when a facade symbol is first touched.
+
 Subpackages
 -----------
 ``transforms``   shear-warp factorization of viewing matrices
@@ -11,6 +30,62 @@ Subpackages
 ``parallel``     execution models (event-driven simulator, multiprocessing)
 ``memsim``       trace-driven multiprocessor memory-system simulator
 ``analysis``     speedups, time breakdowns, working-set analyses
+``obs``          span tracing, Chrome trace export, metrics
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Facade symbols re-exported (lazily) from :mod:`repro.parallel.mp_backend`.
+_POOL_EXPORTS = (
+    "PoolConfig",
+    "MPRenderPool",
+    "MPRenderResult",
+    "MPPoolError",
+    "FrameFailed",
+    "FrameTimeout",
+    "WorkerDied",
+    "PoolClosed",
+    "PoolUnrecoverable",
+)
+
+__all__ = ["__version__", "open_pool", "render_frame", *_POOL_EXPORTS]
+
+
+def open_pool(renderer, config=None, **overrides):
+    """Open a persistent :class:`MPRenderPool` (use as a context manager).
+
+    ``config`` is a :class:`PoolConfig`; keyword overrides build one
+    (``open_pool(r, n_procs=4)``) or refine a given config
+    (``open_pool(r, cfg, trace=True)``).
+    """
+    from .parallel.mp_backend import MPRenderPool, PoolConfig
+
+    if config is None:
+        config = PoolConfig(**overrides)
+    elif overrides:
+        config = config.replace(**overrides)
+    return MPRenderPool(renderer, config=config)
+
+
+def render_frame(renderer, view, config=None, **overrides):
+    """Render one frame through a transient worker pool.
+
+    The one-shot counterpart of :func:`open_pool`: ``profile_period``
+    defaults to 0 here (a single frame has no next frame for its profile
+    to balance) and the pool runs with a single image buffer.
+    """
+    from .parallel.mp_backend import PoolConfig, render_parallel_mp
+
+    if config is None:
+        config = PoolConfig(profile_period=0, **overrides)
+    elif overrides:
+        config = config.replace(**overrides)
+    return render_parallel_mp(renderer, view, config=config)
+
+
+def __getattr__(name: str):
+    if name in _POOL_EXPORTS:
+        from . import parallel
+
+        return getattr(parallel.mp_backend, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

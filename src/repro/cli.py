@@ -41,15 +41,29 @@ def _cmd_render(args: argparse.Namespace) -> int:
     from .analysis.harness import get_renderer
     from .render.fast import render_fast
 
+    from .parallel.mp_backend import DEFAULT_STEAL_CHUNK, PoolConfig
+
     renderer = get_renderer(args.dataset, args.scale)
     view = renderer.view_from_angles(args.rx, args.ry, args.rz)
     frames = max(1, args.frames)
     tracing = bool(args.trace_out)
-    stealing = args.stealing == "on"
     if args.steal_chunk is None:
-        from .parallel.mp_backend import DEFAULT_STEAL_CHUNK
-
         args.steal_chunk = DEFAULT_STEAL_CHUNK
+    # One PoolConfig drives both parallel paths (PoolConfig is the
+    # canonical pool API; the per-call kwargs are a legacy shim).
+    cfg = PoolConfig(
+        n_procs=max(1, args.procs),
+        kernel=args.kernel,
+        profile_period=args.profile_period,
+        stealing=args.stealing == "on",
+        steal_chunk=args.steal_chunk,
+        trace=tracing,
+        timeout_s=args.timeout_s,
+        degrade_to_serial=args.degrade == "on",
+        **({} if args.max_retries is None else
+           {"max_retries": args.max_retries}),
+    )
+    fault_counters = None
     t0 = time.perf_counter()
     if frames > 1:
         # Animation through a persistent pool: this is the path where
@@ -60,13 +74,10 @@ def _cmd_render(args: argparse.Namespace) -> int:
         views = [renderer.view_from_angles(args.rx, args.ry + i * args.ry_step,
                                            args.rz)
                  for i in range(frames)]
-        with MPRenderPool(renderer, n_procs=max(1, args.procs),
-                          kernel=args.kernel,
-                          profile_period=args.profile_period,
-                          stealing=stealing, steal_chunk=args.steal_chunk,
-                          trace=tracing) as pool:
+        with MPRenderPool(renderer, config=cfg) as pool:
             handles = [pool.submit(v) for v in views]
             results = [pool.result(h) for h in handles]
+            fault_counters = pool.fault_counters()
             if tracing:
                 pool.export_chrome_trace(args.trace_out,
                                          metadata={"dataset": args.dataset,
@@ -78,19 +89,14 @@ def _cmd_render(args: argparse.Namespace) -> int:
         steal_rows = sum(r.steal_rows for r in results)
         dyn = (f"stealing chunk={args.steal_chunk} "
                f"({steals} steals, {steal_rows} rows)"
-               if stealing and args.procs > 1 else "no stealing")
+               if cfg.stealing and args.procs > 1 else "no stealing")
         how = (f"{frames} frames, {max(1, args.procs)} procs, "
                f"{args.kernel} kernel, {split}, {dyn}")
     elif args.procs > 1:
         from .obs import export_chrome_trace
         from .parallel.mp_backend import render_parallel_mp
 
-        result = render_parallel_mp(renderer, view, n_procs=args.procs,
-                                    kernel=args.kernel,
-                                    profile_period=args.profile_period,
-                                    stealing=stealing,
-                                    steal_chunk=args.steal_chunk,
-                                    trace=tracing)
+        result = render_parallel_mp(renderer, view, config=cfg)
         if tracing:
             export_chrome_trace(
                 args.trace_out,
@@ -127,6 +133,9 @@ def _cmd_render(args: argparse.Namespace) -> int:
           f"final image {result.final.shape}, "
           f"alpha mass {result.final.alpha.sum():.0f} "
           f"({how}, {dt * 1e3:.1f} ms/frame)")
+    if fault_counters and any(fault_counters.values()):
+        print("pool recovery: "
+              + ", ".join(f"{k}={v}" for k, v in sorted(fault_counters.items())))
     if tracing:
         print(f"wrote Chrome trace to {args.trace_out} "
               "(load in Perfetto or chrome://tracing)")
@@ -228,6 +237,18 @@ def main(argv: list[str] | None = None) -> int:
                         "the static partition (paper section 4.4)")
     p.add_argument("--steal-chunk", type=int, default=None, metavar="N",
                    help="scanlines per claim/steal (default 8)")
+    p.add_argument("--timeout-s", type=float, default=None, metavar="S",
+                   help="per-frame deadline: a frame still incomplete after "
+                        "S seconds is treated as a fault and recovered "
+                        "(default: no deadline; dead workers are detected "
+                        "either way)")
+    p.add_argument("--max-retries", type=int, default=None, metavar="N",
+                   help="re-dispatch a lost frame up to N times after a "
+                        "worker death/hang/exception (default 2)")
+    p.add_argument("--degrade", choices=["on", "off"], default="on",
+                   help="after retries are exhausted, render the frame "
+                        "serially in the parent (bit-identical) instead of "
+                        "failing it")
     p.add_argument("--out", default=None, help="save image arrays to .npz")
     p.add_argument("--trace-out", default=None, metavar="PATH",
                    help="write a Chrome trace-event JSON of per-worker phase "

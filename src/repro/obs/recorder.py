@@ -45,8 +45,11 @@ __all__ = [
 #: thief's victim scan + claim-cursor lock (the paper's steal
 #: synchronization cost, section 4.4; nested inside ``composite``),
 #: ``barrier`` the inter-phase synchronization wait (the paper's "sync
-#: time").
-PHASES = ("wait", "decode", "composite", "profile", "steal", "barrier", "warp")
+#: time"), ``recover`` the MP pool supervisor's worker-respawn +
+#: frame-retry window after a fault (recorded on the supervisor's own
+#: track, appended last so existing phase ids stay stable).
+PHASES = ("wait", "decode", "composite", "profile", "steal", "barrier", "warp",
+          "recover")
 
 #: Counter names.  ``steals``/``steal_rows`` count successful chunk
 #: steals and the scanlines they moved — recorded by the MP pool's

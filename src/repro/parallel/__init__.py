@@ -1,7 +1,18 @@
 """Execution models: event-driven logical processors and multiprocessing."""
 
 from .execution import FrameReport, PhaseReport, simulate_animation, simulate_frame
-from .mp_backend import MPRenderPool, MPRenderResult, render_parallel_mp
+from .mp_backend import (
+    FrameFailed,
+    FrameTimeout,
+    MPPoolError,
+    MPRenderPool,
+    MPRenderResult,
+    PoolClosed,
+    PoolConfig,
+    PoolUnrecoverable,
+    WorkerDied,
+    render_parallel_mp,
+)
 from .scheduler import ProcSchedule, ScheduleResult, Unit, schedule
 
 __all__ = [
@@ -11,6 +22,13 @@ __all__ = [
     "simulate_animation",
     "MPRenderPool",
     "MPRenderResult",
+    "PoolConfig",
+    "MPPoolError",
+    "FrameFailed",
+    "FrameTimeout",
+    "WorkerDied",
+    "PoolClosed",
+    "PoolUnrecoverable",
     "render_parallel_mp",
     "ProcSchedule",
     "ScheduleResult",

@@ -44,24 +44,54 @@ dry trims chunks from the *tail* of the most-loaded victim's block
 hence the chunk).  Intermediate scanlines are independent and each is
 composited exactly once by exactly one worker, so the images stay
 bit-identical with stealing on or off, for both kernels.  Warp-row
-ownership keeps following the static boundaries (section 4.5) — the
-warp's cache affinity and lock-free final-image writes are per-frame
-properties of the *partition*, not of who happened to composite a
-stolen row — and on profiled frames a stolen row's cost counters are
-shipped back by the thief, so the feedback loop still sees every row's
-true cost.  ``stealing=False`` (or one worker) restores the purely
-static pool: one kernel call per band, no claim traffic at all.
+ownership keeps following the static boundaries (section 4.5), and on
+profiled frames a stolen row's cost counters are shipped back by the
+thief, so the feedback loop still sees every row's true cost.
+``stealing=False`` (or one worker) restores the purely static pool.
 
-On a single-core host this still runs correctly (and is exercised by the
-test suite); the wall-clock speedup study is
+Fault tolerance
+---------------
+The partitioned design only pays off when the runtime survives slow or
+failed participants (the lesson of the paper's SVM experience, section
+5, where uneven page-fault costs dominated the carefully balanced
+compute).  The pool is therefore *self-healing*: a supervisor thread in
+the parent owns the done queue, polls worker sentinels and per-frame
+deadlines, and on a fault — an OOM-killed fork, a SIGKILLed or hung
+worker, an exception escaping the compositing kernel — stops the worker
+set, **respawns** it against the existing shared-memory segments
+(fresh queues, barrier and claim locks; rings re-zeroed; claim cursors
+re-seeded) and **resubmits** every lost frame, up to
+:attr:`PoolConfig.max_retries` times.  When retries are exhausted the
+frame degrades to an in-parent serial render
+(:attr:`PoolConfig.degrade_to_serial`), so an animation always
+completes with bit-identical images; with degradation off the frame's
+``result()`` raises a typed error (:class:`FrameTimeout`,
+:class:`WorkerDied`, :class:`FrameFailed`) instead of hanging.
+Recovery is observable: ``pool/worker_restarts``,
+``pool/frames_retried``, ``pool/degraded_frames`` counters and a
+``pool/recovery_s`` histogram in :attr:`MPRenderPool.metrics`, a
+``recover`` span on the supervisor's timeline track when tracing, and
+:attr:`MPRenderResult.retries` / :attr:`MPRenderResult.degraded` per
+frame.
+
+All knobs live on one frozen :class:`PoolConfig`; the individual
+keyword arguments of :class:`MPRenderPool` and
+:func:`render_parallel_mp` remain as a compatibility shim that builds
+the config for you.
+
+On a single-core host this still runs correctly (and is exercised by
+the test suite); the wall-clock speedup study is
 ``examples/multicore_speedup.py``.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing as mp
 import os
 import queue as queue_mod
+import signal
+import threading
 import time
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
@@ -85,6 +115,7 @@ from ..obs.timeline import FrameTimeline
 from ..obs.timeline import export_chrome_trace as _export_chrome_trace
 from ..render.block import BlockRowCounters, composite_scanline_block
 from ..render.compositing import composite_image_scanline, nonempty_scanline_bounds
+from ..render.fast import render_fast
 from ..render.image import FinalImage, IntermediateImage
 from ..render.instrument import WorkCounters
 from ..render.serial import ShearWarpRenderer
@@ -99,9 +130,16 @@ from ..transforms.factorization import PERMUTATIONS, ShearWarpFactorization
 __all__ = [
     "MPRenderPool",
     "MPRenderResult",
+    "PoolConfig",
     "render_parallel_mp",
     "COMPOSITE_KERNELS",
     "DEFAULT_STEAL_CHUNK",
+    "MPPoolError",
+    "FrameFailed",
+    "FrameTimeout",
+    "WorkerDied",
+    "PoolClosed",
+    "PoolUnrecoverable",
 ]
 
 #: Compositing kernels a worker can run over its partition.
@@ -112,6 +150,161 @@ COMPOSITE_KERNELS = ("scanline", "block")
 #: also pays one Python kernel invocation, so the sweet spot sits a bit
 #: higher; single-scanline chunks recreate the paper's ~10x sync blowup.
 DEFAULT_STEAL_CHUNK = 8
+
+#: Default supervisor cadence: how often worker sentinels and frame
+#: deadlines are checked while no done messages arrive.  Done messages
+#: themselves wake the supervisor immediately regardless.
+DEFAULT_POLL_S = 0.05
+
+
+# -- typed pool errors --------------------------------------------------------
+
+
+class MPPoolError(RuntimeError):
+    """Base of every typed :class:`MPRenderPool` error.
+
+    Subclasses ``RuntimeError`` so callers written against the old
+    untyped API keep catching what they caught before.
+    """
+
+
+class FrameFailed(MPPoolError):
+    """A frame's workers raised, and retries/degradation were exhausted."""
+
+
+class FrameTimeout(MPPoolError):
+    """A frame exceeded :attr:`PoolConfig.timeout_s` and could not be
+    recovered within the configured retries."""
+
+
+class WorkerDied(MPPoolError):
+    """A worker process died (SIGKILL, OOM, crash) and the frame could
+    not be recovered within the configured retries."""
+
+
+class PoolClosed(MPPoolError):
+    """The pool was closed — raised by ``submit`` on a closed pool and
+    by ``result`` waiters when ``close()`` lands mid-wait."""
+
+
+class PoolUnrecoverable(MPPoolError):
+    """The pool itself is broken (worker respawn failed, supervisor
+    died) and cannot render anything further."""
+
+
+# -- configuration ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Every :class:`MPRenderPool` knob, validated in one place.
+
+    This is the canonical front door: build one config and hand it to
+    ``MPRenderPool(renderer, config=cfg)`` /
+    ``render_parallel_mp(..., config=cfg)`` / ``repro.open_pool`` —
+    instead of threading eight keyword arguments through every layer.
+    The individual kwargs on those callables remain as a legacy shim
+    that builds a ``PoolConfig`` internally.
+
+    Parameters
+    ----------
+    n_procs:
+        Worker process count.
+    kernel:
+        ``"block"`` (default, vectorized) or ``"scanline"``
+        (instrumented reference); bit-identical images either way.
+    buffers:
+        Shared image buffers cycled across frames; with two, submitting
+        frame ``n+1`` only waits for frame ``n-1``.
+    profile_period:
+        Re-profile every this many frames (paper section 4.2);
+        ``0`` disables the feedback loop (always-uniform partitions).
+    stealing / steal_chunk:
+        Chunked task stealing on top of the static partition (paper
+        section 4.4) and its granularity in scanlines.
+    trace / trace_capacity:
+        Per-worker span/counter ring recording (:mod:`repro.obs`).
+    timeout_s:
+        Per-frame deadline in seconds, measured from dispatch.  A frame
+        still incomplete past its deadline is treated as a fault (hung
+        or wedged worker) and recovered.  ``None`` (default) disables
+        the deadline — worker *deaths* are still detected via their
+        sentinels; only silent hangs need a timeout to be caught.
+    max_retries:
+        How many times a lost frame (dead worker, timeout, worker
+        exception) is re-dispatched before giving up on the pool for
+        that frame.
+    degrade_to_serial:
+        After ``max_retries`` is exhausted (or if the pool cannot
+        respawn workers at all), render the frame serially in the
+        parent instead of failing it.  The serial renderer is the
+        bit-identity reference, so a degraded animation still produces
+        exactly the same images.
+    poll_s:
+        Supervisor cadence for sentinel/deadline checks.  Smaller
+        values detect faults faster; done messages are handled
+        immediately regardless.
+    """
+
+    n_procs: int = 2
+    kernel: str = "block"
+    buffers: int = 2
+    profile_period: int = 5
+    stealing: bool = True
+    steal_chunk: int = DEFAULT_STEAL_CHUNK
+    trace: bool = False
+    trace_capacity: int = DEFAULT_RING_CAPACITY
+    timeout_s: float | None = None
+    max_retries: int = 2
+    degrade_to_serial: bool = True
+    poll_s: float = DEFAULT_POLL_S
+
+    def __post_init__(self) -> None:
+        if self.n_procs < 1:
+            raise ValueError("need at least one worker")
+        if self.kernel not in COMPOSITE_KERNELS:
+            raise ValueError(
+                f"kernel must be one of {COMPOSITE_KERNELS}, got {self.kernel!r}"
+            )
+        if self.buffers < 1:
+            raise ValueError("need at least one image buffer")
+        if self.profile_period < 0:
+            raise ValueError("profile_period must be >= 0 (0 disables profiling)")
+        if self.steal_chunk < 1:
+            raise ValueError("steal_chunk must be >= 1 scanline")
+        if self.trace_capacity < 1:
+            raise ValueError("trace_capacity must be >= 1")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (None disables it)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.poll_s <= 0:
+            raise ValueError("poll_s must be positive")
+
+    def replace(self, **changes) -> "PoolConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+
+#: Legacy-kwarg names accepted by the compat shims, in the positional
+#: order the old ``MPRenderPool.__init__`` took them.
+_LEGACY_FIELDS = tuple(f.name for f in dataclasses.fields(PoolConfig))
+
+
+def _config_from(config: PoolConfig | None, legacy: dict) -> PoolConfig:
+    """Build the effective config from ``config=`` or legacy kwargs."""
+    given = {k: v for k, v in legacy.items() if v is not None}
+    if config is not None:
+        if given:
+            raise TypeError(
+                "pass either config= or individual pool kwargs, not both "
+                f"(got config and {sorted(given)})"
+            )
+        return config
+    return PoolConfig(**given)
+
+
+# -- chaos hooks (tests, benchmarks, CI) --------------------------------------
 
 
 def _row_delay_from_env() -> tuple[int, float] | None:
@@ -130,12 +323,66 @@ def _row_delay_from_env() -> tuple[int, float] | None:
 #: before pool construction (it reaches the workers through fork).
 _TEST_ROW_DELAY: tuple[int, float] | None = _row_delay_from_env()
 
+#: Worker phases at which a fault can be injected.
+FAULT_PHASES = ("decode", "composite", "profile", "steal", "warp")
+
+#: Kinds of injectable fault: SIGKILL the worker, hang it forever, or
+#: raise out of the phase.
+FAULT_KINDS = ("kill", "hang", "raise")
+
+
+def _fault_from_env() -> tuple[int, int, str, str] | None:
+    """Parse ``REPRO_MP_FAULT`` (``"pid:frame:kind[:phase]"``).
+
+    ``kind`` is one of :data:`FAULT_KINDS`, ``phase`` one of
+    :data:`FAULT_PHASES` (default ``composite``).
+    """
+    spec = os.environ.get("REPRO_MP_FAULT")
+    if not spec:
+        return None
+    parts = spec.split(":")
+    if len(parts) not in (3, 4):
+        raise ValueError(f"REPRO_MP_FAULT must be pid:frame:kind[:phase], got {spec!r}")
+    pid, frame, kind = int(parts[0]), int(parts[1]), parts[2]
+    phase = parts[3] if len(parts) == 4 else "composite"
+    if kind not in FAULT_KINDS:
+        raise ValueError(f"REPRO_MP_FAULT kind must be one of {FAULT_KINDS}")
+    if phase not in FAULT_PHASES:
+        raise ValueError(f"REPRO_MP_FAULT phase must be one of {FAULT_PHASES}")
+    return pid, frame, kind, phase
+
+
+#: Deterministic fault-injection hook, mirroring ``_TEST_ROW_DELAY``:
+#: ``(pid, frame, kind, phase)`` makes worker ``pid`` fail on frame
+#: ``frame`` when it reaches ``phase``.  Set ``REPRO_MP_FAULT`` or
+#: monkeypatch this before pool construction.  The fault is armed only
+#: for the pool's *first* worker generation, so a respawned worker does
+#: not re-trip it and recovery can be observed succeeding.
+_TEST_FAULT: tuple[int, int, str, str] | None = _fault_from_env()
+
 
 def _burn(seconds: float) -> None:
     """Busy-wait so the injected delay shows up in CPU (process) time."""
     t0 = time.perf_counter()
     while time.perf_counter() - t0 < seconds:
         pass
+
+
+def _maybe_fault(fault, pid: int, frame: int, phase: str) -> None:
+    """Trip the armed fault if it matches this (pid, frame, phase)."""
+    if fault is None:
+        return
+    fpid, fframe, kind, fphase = fault
+    if pid != fpid or frame != fframe or phase != fphase:
+        return
+    if kind == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif kind == "hang":
+        while True:  # until the supervisor terminates us
+            time.sleep(3600.0)
+    elif kind == "raise":
+        raise RuntimeError(f"injected {phase} fault (REPRO_MP_FAULT)")
+
 
 # Worker globals installed by fork (read-only for the volume; the images
 # are views onto shared memory, partitioned so no two workers write the
@@ -166,6 +413,12 @@ class MPRenderResult:
     #: moved (zero on a static pool or a frame that never went idle).
     steals: int = 0
     steal_rows: int = 0
+    #: How many times this frame was re-dispatched after a fault (0 on
+    #: the healthy path).
+    retries: int = 0
+    #: True when retries ran out and the frame was rendered serially in
+    #: the parent (bit-identical images; no per-worker observables).
+    degraded: bool = False
 
     @property
     def busy_spread(self) -> float | None:
@@ -291,6 +544,10 @@ def _worker_loop(pid: int) -> None:
     )
     delay = _TEST_ROW_DELAY
     burn_per_row = delay[1] if delay is not None and delay[0] == pid else 0.0
+    # The injected fault is armed only for generation 0: a worker
+    # respawned by the supervisor must not re-trip it, so the retried
+    # frame can demonstrate recovery.
+    fault = _TEST_FAULT if _G["generation"] == 0 else None
     # Tracing is opt-in: ``rec`` stays None on untraced pools and every
     # recording site below is guarded, so the disabled path does zero
     # observability work (no clock reads, no allocation).
@@ -339,6 +596,7 @@ def _worker_loop(pid: int) -> None:
             img.opacity = full_o[:n_v, :n_u]
 
             try:
+                _maybe_fault(fault, pid, frame, "decode")
                 if rec is not None:
                     td0 = rec.now()
                 rle = renderer.rle_for(fact)
@@ -347,6 +605,9 @@ def _worker_loop(pid: int) -> None:
                     rec.span(frame, "decode", td0, tc0)
                     cache = rle.slice_cache
                     cache_stats0 = (cache.hits, cache.misses)
+                if profiled:
+                    _maybe_fault(fault, pid, frame, "profile")
+                _maybe_fault(fault, pid, frame, "composite")
                 if claims is None:
                     # Static pool: one kernel call over the whole band.
                     frag = _composite_range(img, v_lo, v_hi, rle, fact,
@@ -373,6 +634,7 @@ def _worker_loop(pid: int) -> None:
                         if burn_per_row:
                             _burn(burn_per_row * (hi - lo))
                     # ...then turn thief until every block is drained.
+                    _maybe_fault(fault, pid, frame, "steal")
                     while True:
                         if rec is not None:
                             ts0 = rec.now()
@@ -407,11 +669,14 @@ def _worker_loop(pid: int) -> None:
                     rec.span(frame, "composite", tc0, tb0)
                 # Siblings block on this barrier no matter what happened
                 # above — reaching it even on error prevents a deadlock.
+                # (A *dead* sibling can never arrive; the parent's
+                # supervisor detects that and terminates the stragglers.)
                 barrier.wait()
                 if rec is not None:
                     rec.span(frame, "barrier", tb0, rec.now())
 
             t1 = time.process_time()
+            _maybe_fault(fault, pid, frame, "warp")
             if rec is not None:
                 tw0 = rec.now()
             final = FinalImage((ny, nx))
@@ -439,7 +704,26 @@ def _worker_loop(pid: int) -> None:
 
 
 class MPRenderPool:
-    """Persistent pool of render workers sharing double-buffered images.
+    """Persistent, self-healing pool of render workers sharing
+    double-buffered images.
+
+    Configure through one :class:`PoolConfig`::
+
+        pool = MPRenderPool(renderer, config=PoolConfig(n_procs=4))
+
+    or through the legacy keyword arguments (a compatibility shim builds
+    the config; passing both is an error).  See :class:`PoolConfig` for
+    the meaning of every knob.
+
+    A supervisor thread owns the done queue and watches worker
+    sentinels and per-frame deadlines; dead/hung workers are respawned
+    against the existing shared segments and their in-flight frames
+    retried (see the module docstring).  ``result()`` therefore never
+    blocks forever: it returns the frame, raises a typed error
+    (:class:`FrameTimeout`, :class:`WorkerDied`, :class:`FrameFailed`,
+    :class:`PoolClosed`, :class:`PoolUnrecoverable`), or — with
+    ``degrade_to_serial`` — returns a bit-identical serially rendered
+    frame.
 
     Parameters
     ----------
@@ -447,95 +731,70 @@ class MPRenderPool:
         The serial renderer whose volume/encodings the workers inherit
         through ``fork`` at pool construction.  (Re-create the pool if
         the renderer's volume changes.)
-    n_procs:
-        Worker process count.
-    kernel:
-        ``"block"`` (default) composites each partition through the
-        vectorized block kernel; ``"scanline"`` uses the per-scanline
-        reference kernel.  Both produce bit-identical images.
-    buffers:
-        Shared image buffers cycled across frames.  With two (the
-        default), ``submit`` of frame ``n+1`` only waits for frame
-        ``n-1``, overlapping the parent's zeroing/copy-out with the
-        workers' compositing of the previous frame.
-    profile_period:
-        Re-profile every this many frames (the paper's ``k``, section
-        4.2); frames in between are partitioned from the last measured
-        profile.  ``0`` disables profiling entirely — every frame gets
-        the uniform equal-count split.  The partition only changes *who
-        composites which scanlines*, so the images are bit-identical
-        across settings.
-    stealing:
-        Run the paper's chunked task stealing (section 4.4) on top of
-        the static partition: compositing assignments become shared
-        claim cursors, and a worker that drains its own block trims
-        chunks off the most-loaded sibling's tail.  On by default;
-        irrelevant with one worker.  Stealing never changes a pixel —
-        only who composites it — so images stay bit-identical on or off.
-    steal_chunk:
-        Scanlines per claim/steal (the paper's chunk size trade-off:
-        bigger chunks amortise synchronization, smaller ones balance
-        better at the tail).
-    trace:
-        Record per-worker phase spans and counters into shared-memory
-        ring buffers (:mod:`repro.obs`).  Completed frames carry a
-        :class:`~repro.obs.FrameTimeline` on their result, the pool
-        accumulates ``timelines`` and phase histograms in ``metrics``,
-        and :meth:`export_chrome_trace` writes a Perfetto-loadable
-        trace.  Off by default; the disabled path records nothing and
-        the images are bit-identical either way.
+    config:
+        A :class:`PoolConfig`; mutually exclusive with the individual
+        keyword arguments.
     """
 
     def __init__(
         self,
         renderer: ShearWarpRenderer,
-        n_procs: int = 2,
-        kernel: str = "block",
-        buffers: int = 2,
-        profile_period: int = 5,
-        stealing: bool = True,
-        steal_chunk: int = DEFAULT_STEAL_CHUNK,
-        trace: bool = False,
-        trace_capacity: int = DEFAULT_RING_CAPACITY,
+        n_procs: int | None = None,
+        kernel: str | None = None,
+        buffers: int | None = None,
+        profile_period: int | None = None,
+        stealing: bool | None = None,
+        steal_chunk: int | None = None,
+        trace: bool | None = None,
+        trace_capacity: int | None = None,
+        timeout_s: float | None = None,
+        max_retries: int | None = None,
+        degrade_to_serial: bool | None = None,
+        poll_s: float | None = None,
+        *,
+        config: PoolConfig | None = None,
     ) -> None:
-        if n_procs < 1:
-            raise ValueError("need at least one worker")
-        if kernel not in COMPOSITE_KERNELS:
-            raise ValueError(f"kernel must be one of {COMPOSITE_KERNELS}, got {kernel!r}")
-        if buffers < 1:
-            raise ValueError("need at least one image buffer")
-        if profile_period < 0:
-            raise ValueError("profile_period must be >= 0 (0 disables profiling)")
-        if steal_chunk < 1:
-            raise ValueError("steal_chunk must be >= 1 scanline")
-        if trace_capacity < 1:
-            raise ValueError("trace_capacity must be >= 1")
-        if mp.get_start_method(allow_none=True) not in (None, "fork"):
-            raise RuntimeError("MPRenderPool requires the fork start method")
-
         # Teardown-critical state first, with inert defaults: close() /
         # __del__ must work on a pool whose construction died at *any*
-        # later point (failed shm allocation, fork failure, ...) without
-        # AttributeErrors and without leaking shm segments.
+        # later point (bad config, failed shm allocation, fork failure)
+        # without AttributeErrors and without leaking shm segments.
         self._closed = False
         self._workers: list = []
         self._job_queues: list = []
+        self._done_queue = None
         self._shm_i = self._shm_f = self._shm_c = self._shm_t = None
+        self._cond = threading.Condition()
+        self._stop = threading.Event()
+        self._supervisor: threading.Thread | None = None
+        self._broken: str | None = None
+
+        cfg = _config_from(config, {
+            "n_procs": n_procs, "kernel": kernel, "buffers": buffers,
+            "profile_period": profile_period, "stealing": stealing,
+            "steal_chunk": steal_chunk, "trace": trace,
+            "trace_capacity": trace_capacity, "timeout_s": timeout_s,
+            "max_retries": max_retries,
+            "degrade_to_serial": degrade_to_serial, "poll_s": poll_s,
+        })
+        if mp.get_start_method(allow_none=True) not in (None, "fork"):
+            raise RuntimeError("MPRenderPool requires the fork start method")
 
         self.renderer = renderer
-        self.n_procs = int(n_procs)
-        self.kernel = kernel
-        self.buffers = int(buffers)
-        self.profile_period = int(profile_period)
-        self.stealing = bool(stealing)
-        self.steal_chunk = int(steal_chunk)
+        self.config = cfg
+        # Mirrored attributes, kept for the pre-config API.
+        self.n_procs = cfg.n_procs
+        self.kernel = cfg.kernel
+        self.buffers = cfg.buffers
+        self.profile_period = cfg.profile_period
+        self.stealing = cfg.stealing
+        self.steal_chunk = cfg.steal_chunk
+        self.trace = cfg.trace
+        self.trace_capacity = cfg.trace_capacity
         # One worker has nobody to steal from; skip the claim traffic.
-        self._steal_active = self.stealing and self.n_procs > 1
-        self.trace = bool(trace)
-        self.trace_capacity = int(trace_capacity)
+        self._steal_active = cfg.stealing and cfg.n_procs > 1
         self._schedule = (
-            ProfileSchedule(period=self.profile_period)
-            if self.profile_period > 0 else None
+            ProfileSchedule(period=cfg.profile_period)
+            if cfg.profile_period > 0 else None
         )
         # Last assembled profile and the (axis, perm) it was measured
         # under — a principal-axis switch changes the intermediate-image
@@ -547,6 +806,8 @@ class MPRenderPool:
         cap_fy, cap_fx = self.final_cap
         self._inter_floats = cap_iv * cap_iu
         self._final_floats = cap_fy * cap_fx
+        self._generation = 0
+        self._health_due = 0.0
 
         try:
             self._construct()
@@ -592,18 +853,49 @@ class MPRenderPool:
         self._frame_obs: dict[int, FrameTimeline] = {}
         self._last_boundaries: np.ndarray | None = None
         self._last_part_key: tuple[int, tuple[int, int, int]] | None = None
+        self._sup_rec: SpanRecorder | None = None
+        self._sup_reader: RingReader | None = None
         if self.trace:
             self._shm_t = shared_memory.SharedMemory(
                 create=True, size=self.n_procs * ring_bytes(self.trace_capacity)
             )
-            np.ndarray(
-                (self._shm_t.size // 8,), np.float64, buffer=self._shm_t.buf
-            ).fill(0.0)
-            self._readers = [
-                RingReader.over(self._shm_t.buf, pid, self.trace_capacity)
-                for pid in range(self.n_procs)
-            ]
+            self._reset_trace_rings()
+            # The supervisor records recovery spans on its own track,
+            # one past the worker pids.
+            self._sup_rec = SpanRecorder.in_memory(epoch=self._trace_epoch)
+            self._sup_reader = RingReader(
+                self._sup_rec.cursor, self._sup_rec.records, pid=self.n_procs
+            )
 
+        self._next_frame = 0
+        self._inflight: dict[int, dict] = {}  # frame -> per-frame record
+        self._results: dict[int, MPRenderResult] = {}
+        # Frames that failed for good: frame -> typed exception.  Each
+        # frame's error is raised only from its own result() call, never
+        # from a sibling's.
+        self._failed: dict[int, MPPoolError] = {}
+        # Per-buffer state: the frame occupying it and the image shapes
+        # its last occupant dirtied (so reuse only zeroes those regions).
+        self._buf_frame: list[int | None] = [None] * self.buffers
+        self._buf_dirty: list[tuple[tuple[int, int], tuple[int, int]] | None] = (
+            [None] * self.buffers
+        )
+
+        self._spawn_workers(generation=0)
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="mp-pool-supervisor", daemon=True
+        )
+        self._supervisor.start()
+
+    def _spawn_workers(self, generation: int) -> None:
+        """Fork a worker set against the existing shared segments.
+
+        Queues, barrier and claim locks are created fresh each
+        generation: after a fault the old ones may hold stale jobs,
+        wedged waiters or semaphores owned by dead processes, and
+        rebuilding them is the only state-reset that needs no
+        cooperation from the casualties.
+        """
         ctx = mp.get_context("fork")
         self._job_queues = [ctx.SimpleQueue() for _ in range(self.n_procs)]
         self._done_queue = ctx.Queue()
@@ -631,6 +923,7 @@ class MPRenderPool:
             shm_t=self._shm_t,
             trace_capacity=self.trace_capacity,
             trace_epoch=self._trace_epoch,
+            generation=generation,
         )
         try:
             self._workers = [
@@ -644,19 +937,15 @@ class MPRenderPool:
             # references so nothing leaks into a later pool's snapshot.
             _G.clear()
 
-        self._next_frame = 0
-        self._inflight: dict[int, dict] = {}  # frame -> per-frame record
-        self._results: dict[int, MPRenderResult] = {}
-        # Frames that completed with worker errors: frame -> error list.
-        # Each frame's errors are raised only from its own result() call,
-        # never from a sibling's collect.
-        self._failed: dict[int, list[str]] = {}
-        # Per-buffer state: the frame occupying it and the image shapes
-        # its last occupant dirtied (so reuse only zeroes those regions).
-        self._buf_frame: list[int | None] = [None] * self.buffers
-        self._buf_dirty: list[tuple[tuple[int, int], tuple[int, int]] | None] = (
-            [None] * self.buffers
-        )
+    def _reset_trace_rings(self) -> None:
+        """Zero the span rings and restart the parent-side readers."""
+        np.ndarray(
+            (self._shm_t.size // 8,), np.float64, buffer=self._shm_t.buf
+        ).fill(0.0)
+        self._readers = [
+            RingReader.over(self._shm_t.buf, pid, self.trace_capacity)
+            for pid in range(self.n_procs)
+        ]
 
     # -- frame lifecycle -----------------------------------------------------
 
@@ -666,73 +955,118 @@ class MPRenderPool:
         Blocks only if every buffer is still occupied by an unfinished
         frame (with ``buffers=2`` that means two frames behind).  The
         partition is profile-balanced whenever a valid profile from an
-        earlier frame exists, uniform otherwise.
+        earlier frame exists, uniform otherwise.  Raises
+        :class:`PoolClosed` / :class:`PoolUnrecoverable` on a pool that
+        can no longer accept work.
         """
-        if self._closed:
-            raise RuntimeError("pool is closed")
-        fact = self.renderer.factorize_view(view)
-        n_v, n_u = fact.intermediate_shape
-        ny, nx = fact.final_shape
-        if (n_v, n_u) > self.inter_cap or (ny, nx) > self.final_cap:
-            raise RuntimeError(
-                f"frame shapes {(n_v, n_u)}/{(ny, nx)} exceed pool capacity "
-                f"{self.inter_cap}/{self.final_cap} — is the view matrix scaled?"
+        with self._cond:
+            self._raise_if_unusable()
+            fact = self.renderer.factorize_view(view)
+            n_v, n_u = fact.intermediate_shape
+            ny, nx = fact.final_shape
+            if (n_v, n_u) > self.inter_cap or (ny, nx) > self.final_cap:
+                raise RuntimeError(
+                    f"frame shapes {(n_v, n_u)}/{(ny, nx)} exceed pool capacity "
+                    f"{self.inter_cap}/{self.final_cap} — is the view matrix scaled?"
+                )
+
+            rle = self.renderer.rle_for(fact)
+            v_lo, v_hi = nonempty_scanline_bounds(rle, fact)
+
+            # Pool-health gauges, sampled at submit time: how deep the
+            # pipeline is and how many shared buffers are still occupied
+            # by unfinished frames.  (The supervisor absorbs done
+            # messages continuously, so the profile is always fresh.)
+            self.metrics.gauge("pool/queue_depth").set(len(self._inflight))
+            self.metrics.gauge("pool/buffer_occupancy").set(
+                sum(1 for f in self._buf_frame if f is not None and f in self._inflight)
             )
+            if self._profile is not None and self._profile_key != (fact.axis, fact.perm):
+                self._profile = None
+                self.metrics.counter("pool/profile_invalidations").inc()
+            profiled = False
+            if self._schedule is not None:
+                profiled = self._schedule.should_profile() or self._profile is None
+                self._schedule.advance()
+            boundaries = self._partition(v_lo, v_hi)
+            # Partition-boundary drift between successive frames of the
+            # same principal axis: how far the feedback loop moves the
+            # split.
+            part_key = (fact.axis, fact.perm)
+            if (
+                self._last_boundaries is not None
+                and self._last_part_key == part_key
+                and len(self._last_boundaries) == len(boundaries)
+            ):
+                self.metrics.histogram("pool/boundary_drift").observe(
+                    float(np.abs(boundaries - self._last_boundaries).mean())
+                )
+            self._last_boundaries = boundaries
+            self._last_part_key = part_key
+            owner = line_ownership(boundaries, n_v)
+            coeffs = warp_coeffs(fact)
+            src_lines = final_pixel_source_lines((ny, nx), fact, coeffs=coeffs)
+            rows_by_pid = warp_rows_by_pid(src_lines, owner, self.n_procs)
 
-        rle = self.renderer.rle_for(fact)
-        v_lo, v_hi = nonempty_scanline_bounds(rle, fact)
+            # Everything fallible is done — only now wait for a buffer
+            # and claim a frame id, so a failed submit leaves no
+            # bookkeeping behind (no consumed id, no buffer marked
+            # occupied/dirty by a frame that was never queued).
+            buf = self._next_frame % self.buffers
+            prev = self._buf_frame[buf]
+            while prev is not None and prev in self._inflight:
+                self._wait_event()  # supervisor completes/retires frames
+                prev = self._buf_frame[buf]
+            frame = self._next_frame
+            self._next_frame += 1
+            self._buf_frame[buf] = frame
+            self._inflight[frame] = {
+                "buf": buf,
+                "fact": fact,
+                "view": np.array(view, dtype=np.float64, copy=True),
+                "done": 0,
+                "errors": [],
+                "profiled": profiled,
+                "v_lo": v_lo,
+                "v_hi": v_hi,
+                "costs": None,
+                "busy": np.zeros(self.n_procs, dtype=np.float64),
+                "boundaries": boundaries,
+                "owner": owner,
+                "rows_by_pid": rows_by_pid,
+                "key": (fact.axis, fact.perm),
+                "steals": 0,
+                "steal_rows": 0,
+                "attempt": 0,
+                "deadline": None,
+            }
+            self._dispatch_locked(frame)
+            return frame
 
-        # Pick up any frames (and their profiles) that finished while the
-        # parent was elsewhere, so pipelined submits see the freshest
-        # profile without blocking.
-        self._drain_done()
-        # Pool-health gauges, sampled at submit time: how deep the
-        # pipeline is and how many shared buffers are still occupied by
-        # unfinished frames.
-        self.metrics.gauge("pool/queue_depth").set(len(self._inflight))
-        self.metrics.gauge("pool/buffer_occupancy").set(
-            sum(1 for f in self._buf_frame if f is not None and f in self._inflight)
+    def _dispatch_locked(self, frame: int) -> None:
+        """(Re-)send ``frame``'s jobs to every worker.  Lock held.
+
+        Used by ``submit`` for the first attempt and by the recovery
+        paths for retries: the saved record carries everything needed to
+        reproduce the exact same partition, so a retried frame is
+        bit-identical to what the lost attempt would have produced.
+        """
+        rec = self._inflight[frame]
+        buf = rec["buf"]
+        fact = rec["fact"]
+        boundaries = rec["boundaries"]
+        self._zero_buffer(buf)  # clears partial writes of a lost attempt
+        self._buf_dirty[buf] = (fact.intermediate_shape, fact.final_shape)
+        rec["done"] = 0
+        rec["errors"] = []
+        rec["costs"] = None
+        rec["busy"][:] = 0.0
+        rec["steals"] = 0
+        rec["steal_rows"] = 0
+        rec["deadline"] = (
+            time.monotonic() + self.config.timeout_s
+            if self.config.timeout_s is not None else None
         )
-        if self._profile is not None and self._profile_key != (fact.axis, fact.perm):
-            self._profile = None
-            self.metrics.counter("pool/profile_invalidations").inc()
-        profiled = False
-        if self._schedule is not None:
-            profiled = self._schedule.should_profile() or self._profile is None
-            self._schedule.advance()
-        boundaries = self._partition(v_lo, v_hi)
-        # Partition-boundary drift between successive frames of the same
-        # principal axis: how far the feedback loop moves the split.
-        part_key = (fact.axis, fact.perm)
-        if (
-            self._last_boundaries is not None
-            and self._last_part_key == part_key
-            and len(self._last_boundaries) == len(boundaries)
-        ):
-            self.metrics.histogram("pool/boundary_drift").observe(
-                float(np.abs(boundaries - self._last_boundaries).mean())
-            )
-        self._last_boundaries = boundaries
-        self._last_part_key = part_key
-        owner = line_ownership(boundaries, n_v)
-        coeffs = warp_coeffs(fact)
-        src_lines = final_pixel_source_lines((ny, nx), fact, coeffs=coeffs)
-        rows_by_pid = warp_rows_by_pid(src_lines, owner, self.n_procs)
-
-        # Everything fallible is done — only now claim a frame id and a
-        # buffer, so a failed submit leaves no bookkeeping behind (no
-        # consumed id, no buffer marked occupied/dirty by a frame that
-        # was never queued).
-        frame = self._next_frame
-        buf = frame % self.buffers
-        prev = self._buf_frame[buf]
-        if prev is not None and prev in self._inflight:
-            self._collect(prev)  # materialises into _results / _failed
-        self._next_frame += 1
-        self._zero_buffer(buf)
-        self._buf_frame[buf] = frame
-        self._buf_dirty[buf] = ((n_v, n_u), (ny, nx))
-
         if self._claims is not None:
             # Seed the claim cursors to the static boundaries *before*
             # the jobs go out — the queue put is the happens-before edge
@@ -749,27 +1083,11 @@ class MPRenderPool:
                     fact,
                     int(boundaries[pid]),
                     int(boundaries[pid + 1]),
-                    owner,
-                    rows_by_pid[pid],
-                    profiled,
+                    rec["owner"],
+                    rec["rows_by_pid"][pid],
+                    rec["profiled"],
                 )
             )
-        self._inflight[frame] = {
-            "buf": buf,
-            "fact": fact,
-            "done": 0,
-            "errors": [],
-            "profiled": profiled,
-            "v_lo": v_lo,
-            "v_hi": v_hi,
-            "costs": None,
-            "busy": np.zeros(self.n_procs, dtype=np.float64),
-            "boundaries": boundaries,
-            "key": (fact.axis, fact.perm),
-            "steals": 0,
-            "steal_rows": 0,
-        }
-        return frame
 
     def _partition(self, v_lo: int, v_hi: int) -> np.ndarray:
         """Contiguous boundaries for the next frame (section 4.3).
@@ -795,42 +1113,237 @@ class MPRenderPool:
     def result(self, frame: int) -> MPRenderResult:
         """Wait for ``frame`` and return its images (copies).
 
-        Raises the frame's *own* worker errors (and only those): errors
-        of sibling frames collected along the way are stored and
-        surfaced from their own ``result`` calls.
+        Never blocks forever: the supervisor completes, retries,
+        degrades or fails every in-flight frame.  Raises the frame's
+        *own* typed error (:class:`FrameFailed`, :class:`FrameTimeout`,
+        :class:`WorkerDied`) exactly once; :class:`PoolClosed` if the
+        pool is closed while the frame is still in flight;
+        :class:`PoolUnrecoverable` if the pool itself broke.
         """
-        if frame in self._inflight:
-            self._collect(frame)
-        if frame in self._failed:
-            raise RuntimeError("; ".join(self._failed.pop(frame)))
-        if frame in self._results:
-            return self._results.pop(frame)
-        raise KeyError(f"unknown frame {frame}")
+        with self._cond:
+            while True:
+                if frame in self._failed:
+                    raise self._failed.pop(frame)
+                if frame in self._results:
+                    return self._results.pop(frame)
+                if frame not in self._inflight:
+                    raise KeyError(f"unknown frame {frame}")
+                if self._broken is not None:
+                    raise PoolUnrecoverable(self._broken)
+                if self._closed:
+                    raise PoolClosed(
+                        f"pool closed while frame {frame} was in flight"
+                    )
+                sup = self._supervisor
+                if sup is None or not sup.is_alive():
+                    raise PoolUnrecoverable("supervisor thread died")
+                self._cond.wait(timeout=0.2)
 
     def render(self, view: np.ndarray) -> MPRenderResult:
         """Render one frame synchronously."""
         return self.result(self.submit(view))
 
-    def _collect(self, frame: int) -> None:
-        """Drain done messages until ``frame`` completes (either way)."""
-        while frame in self._inflight:
-            try:
-                msg = self._done_queue.get(timeout=1.0)
-            except queue_mod.Empty:
-                dead = [w.pid for w in self._workers if not w.is_alive()]
-                if dead:
-                    raise RuntimeError(f"render worker(s) {dead} died") from None
-                continue
-            self._handle_done(msg)
+    def _wait_event(self) -> None:
+        """One bounded wait on the pool condition, with liveness checks."""
+        if self._broken is not None:
+            raise PoolUnrecoverable(self._broken)
+        if self._closed:
+            raise PoolClosed("pool is closed")
+        sup = self._supervisor
+        if sup is None or not sup.is_alive():
+            raise PoolUnrecoverable("supervisor thread died")
+        self._cond.wait(timeout=0.2)
 
-    def _drain_done(self) -> None:
-        """Absorb already-delivered done messages without blocking."""
-        while True:
+    def _raise_if_unusable(self) -> None:
+        if self._closed:
+            raise PoolClosed("pool is closed")
+        if self._broken is not None:
+            raise PoolUnrecoverable(self._broken)
+
+    # -- supervision ---------------------------------------------------------
+
+    def _supervise(self) -> None:
+        """Own the done queue; watch sentinels and deadlines; recover.
+
+        Runs in a daemon thread for the pool's whole life.  Done
+        messages are handled the moment they arrive; health (worker
+        sentinels, per-frame deadlines) is checked at most every
+        ``poll_s`` seconds so a busy pool pays a bounded supervision
+        cost — measured by ``benchmarks/bench_faults.py`` (< 2% target).
+        """
+        while not self._stop.is_set():
+            queue = self._done_queue
             try:
-                msg = self._done_queue.get_nowait()
+                msg = queue.get(timeout=self.config.poll_s)
             except queue_mod.Empty:
-                return
-            self._handle_done(msg)
+                msg = None
+            except (OSError, ValueError, EOFError):
+                return  # queue torn down under us: pool is closing
+            with self._cond:
+                if self._closed or self._stop.is_set():
+                    return
+                try:
+                    if msg is not None:
+                        self._handle_done(msg)
+                    if queue is self._done_queue:
+                        # Absorb whatever else already arrived.
+                        while True:
+                            try:
+                                m = self._done_queue.get_nowait()
+                            except queue_mod.Empty:
+                                break
+                            if m is not None:
+                                self._handle_done(m)
+                    now = time.monotonic()
+                    if now >= self._health_due:
+                        self._health_due = now + self.config.poll_s
+                        self._check_health_locked()
+                except Exception as exc:  # noqa: BLE001 - never die silently
+                    self._broken = (
+                        f"supervisor failure: {type(exc).__name__}: {exc}"
+                    )
+                finally:
+                    self._cond.notify_all()
+                if self._broken is not None:
+                    return
+
+    def _check_health_locked(self) -> None:
+        """Detect dead workers and expired frame deadlines."""
+        dead = [pid for pid, w in enumerate(self._workers) if not w.is_alive()]
+        now = time.monotonic()
+        expired = [
+            f for f, rec in self._inflight.items()
+            if rec["deadline"] is not None and now > rec["deadline"]
+        ]
+        if dead or expired:
+            self._recover_locked(dead, expired)
+
+    def _recover_locked(self, dead: list[int], expired: list[int]) -> None:
+        """Rebuild the worker set and re-dispatch the lost frames.
+
+        A dead or wedged worker poisons everything downstream of the
+        shared barrier, so recovery stops the *whole* set: terminate
+        all workers, rebuild queues/barrier/locks, respawn against the
+        existing shm segments, and resubmit every in-flight frame (its
+        saved partition makes the retry bit-identical).  Frames out of
+        retries degrade to an in-parent serial render or fail typed.
+        """
+        t0 = time.perf_counter()
+        trec0 = self._sup_rec.now() if self._sup_rec is not None else 0.0
+        cause = (
+            f"worker(s) {dead} died" if dead else
+            f"frame(s) {sorted(expired)} exceeded timeout_s={self.config.timeout_s}"
+        )
+        # Stop the entire worker set: survivors may be wedged at the
+        # barrier waiting for a casualty that will never arrive.
+        for w in self._workers:
+            try:
+                if w.pid is not None:
+                    w.terminate()
+            except Exception:  # noqa: BLE001 - recovery must not raise
+                pass
+        for w in self._workers:
+            try:
+                if w.pid is None:
+                    continue
+                w.join(timeout=2.0)
+                if w.is_alive():
+                    w.kill()
+                    w.join(timeout=2.0)
+            except Exception:  # noqa: BLE001
+                pass
+        self.metrics.counter("pool/worker_restarts").inc(len(self._workers))
+        self._close_queues()
+
+        # Retire or retry every in-flight frame.
+        expired_set = set(expired)
+        for frame in sorted(self._inflight):
+            rec = self._inflight[frame]
+            if rec["attempt"] < self.config.max_retries:
+                rec["attempt"] += 1
+                self.metrics.counter("pool/frames_retried").inc()
+                continue
+            if self.config.degrade_to_serial:
+                self._degrade_locked(frame)
+            else:
+                del self._inflight[frame]
+                exc_type = FrameTimeout if frame in expired_set else WorkerDied
+                self._failed[frame] = exc_type(
+                    f"frame {frame} lost ({cause}) after "
+                    f"{rec['attempt']} retr{'y' if rec['attempt'] == 1 else 'ies'}"
+                )
+
+        # Stale observability state dies with the old generation.
+        self._frame_obs.clear()
+        if self.trace:
+            self._reset_trace_rings()
+
+        self._generation += 1
+        try:
+            self._spawn_workers(self._generation)
+        except BaseException as exc:  # noqa: BLE001 - pool is now broken
+            self._broken = f"worker respawn failed: {type(exc).__name__}: {exc}"
+            # Salvage what we can: every surviving frame either degrades
+            # or fails typed — no waiter is left hanging.
+            for frame in sorted(self._inflight):
+                if self.config.degrade_to_serial:
+                    self._degrade_locked(frame)
+                else:
+                    del self._inflight[frame]
+                    self._failed[frame] = PoolUnrecoverable(self._broken)
+            return
+
+        for frame in sorted(self._inflight):
+            self._dispatch_locked(frame)
+            if self._sup_rec is not None:
+                self._sup_rec.span(frame, "recover", trec0, self._sup_rec.now())
+        self.metrics.histogram("pool/recovery_s").observe(
+            time.perf_counter() - t0
+        )
+
+    def _close_queues(self) -> None:
+        """Drop the per-generation queues (best effort, never raises)."""
+        for q in self._job_queues:
+            try:
+                q.close()
+            except Exception:  # noqa: BLE001
+                pass
+        self._job_queues = []
+        if self._done_queue is not None:
+            try:
+                self._done_queue.close()
+            except Exception:  # noqa: BLE001
+                pass
+
+    def _degrade_locked(self, frame: int) -> None:
+        """Render ``frame`` serially in the parent — the last resort.
+
+        The serial fast path is the pool's bit-identity reference, so a
+        degraded frame carries exactly the pixels the workers would have
+        produced; only the per-worker observables are absent.
+        """
+        rec = self._inflight.pop(frame)
+        try:
+            res = render_fast(self.renderer, rec["view"])
+        except Exception as exc:  # noqa: BLE001 - surface, don't hang
+            self._failed[frame] = FrameFailed(
+                f"degraded serial render of frame {frame} failed: "
+                f"{type(exc).__name__}: {exc}"
+            )
+            return
+        self.metrics.counter("pool/degraded_frames").inc()
+        self._results[frame] = MPRenderResult(
+            final=res.final,
+            intermediate=res.intermediate,
+            fact=res.fact,
+            n_procs=self.n_procs,
+            boundaries=rec["boundaries"],
+            profiled=False,
+            busy_s=None,
+            timeline=None,
+            retries=rec["attempt"],
+            degraded=True,
+        )
 
     def _handle_done(self, msg: tuple) -> None:
         """Account one worker's done message to its frame's record."""
@@ -873,15 +1386,26 @@ class MPRenderPool:
             self._finish(frame)
 
     def _finish(self, frame: int) -> None:
-        """All workers reported: record failure or materialise the frame."""
+        """All workers reported: materialise, retry, degrade, or fail."""
         rec = self._inflight[frame]
         timeline = self._collect_timeline(frame)
         if rec["errors"]:
-            # The frame's buffer regions stay marked dirty, so reuse
-            # zeroes whatever the workers managed to write.  A failed
-            # frame's timeline is dropped — its spans may be truncated.
+            # A worker raised but the set is intact — retry is just a
+            # re-dispatch, no respawn needed.  The failed attempt's
+            # timeline was drained above and is dropped (its spans may
+            # be truncated); the frame's buffer regions stay marked
+            # dirty, so the re-dispatch zeroes whatever was written.
+            msg = "; ".join(rec["errors"])
+            if rec["attempt"] < self.config.max_retries:
+                rec["attempt"] += 1
+                self.metrics.counter("pool/frames_retried").inc()
+                self._dispatch_locked(frame)
+                return
+            if self.config.degrade_to_serial:
+                self._degrade_locked(frame)
+                return
             del self._inflight[frame]
-            self._failed[frame] = list(rec["errors"])
+            self._failed[frame] = FrameFailed(msg)
             return
         if timeline is not None:
             self.timelines.append(timeline)
@@ -905,7 +1429,10 @@ class MPRenderPool:
         """
         if not self.trace:
             return None
-        for reader in self._readers:
+        readers = list(self._readers)
+        if self._sup_reader is not None:
+            readers.append(self._sup_reader)
+        for reader in readers:
             for r in reader.drain():
                 tl = self._frame_obs.get(r.frame)
                 if tl is None:
@@ -941,6 +1468,7 @@ class MPRenderPool:
             timeline=timeline,
             steals=info["steals"],
             steal_rows=info["steal_rows"],
+            retries=info["attempt"],
         )
 
     # -- shared-buffer plumbing ----------------------------------------------
@@ -966,12 +1494,25 @@ class MPRenderPool:
 
     # -- observability -------------------------------------------------------
 
+    def fault_counters(self) -> dict[str, int]:
+        """Current recovery counters (zeros on a healthy pool)."""
+        counters = self.metrics.counters
+        return {
+            name: int(counters[key].value) if key in counters else 0
+            for name, key in (
+                ("worker_restarts", "pool/worker_restarts"),
+                ("frames_retried", "pool/frames_retried"),
+                ("degraded_frames", "pool/degraded_frames"),
+            )
+        }
+
     def export_chrome_trace(self, path: str, metadata: dict | None = None) -> None:
         """Write every completed frame's timeline as Chrome trace JSON.
 
         The file loads in Perfetto / ``chrome://tracing`` with one track
-        per worker.  Requires the pool to have been built with
-        ``trace=True``.
+        per worker (plus the supervisor's ``recover`` spans on track
+        ``n_procs`` after any recovery).  Requires the pool to have been
+        built with ``trace=True``.
         """
         if not self.trace:
             raise RuntimeError("pool was created without trace=True")
@@ -983,6 +1524,7 @@ class MPRenderPool:
             "steal_chunk": self.steal_chunk,
             "frames": len(self.timelines),
         }
+        meta.update(self.fault_counters())
         if metadata:
             meta.update(metadata)
         _export_chrome_trace(path, self.timelines, metadata=meta)
@@ -990,15 +1532,42 @@ class MPRenderPool:
     # -- teardown ------------------------------------------------------------
 
     def close(self) -> None:
-        """Stop the workers and release the shared buffers.
+        """Stop the supervisor and workers and release the shared buffers.
 
-        Safe on a partially-constructed pool (``__init__`` failed midway):
+        Safe on a partially-constructed pool (``__init__`` failed midway)
+        and on a half-dead one (workers killed, supervisor mid-recovery):
         every teardown step tolerates missing or half-built state, and
-        whatever shm segments were created are unlinked.
+        whatever shm segments were created are unlinked.  A concurrent
+        ``result()`` waiter is woken and raises :class:`PoolClosed`.
         """
-        if getattr(self, "_closed", True):
+        cond = getattr(self, "_cond", None)
+        if cond is not None:
+            with cond:
+                if self._closed:
+                    return
+                self._closed = True
+                cond.notify_all()
+        elif getattr(self, "_closed", True):
             return
-        self._closed = True
+        else:
+            self._closed = True
+        stop = getattr(self, "_stop", None)
+        if stop is not None:
+            stop.set()
+        # Wake the supervisor out of its blocking queue get, then wait
+        # for it — after this no thread touches the pool's state.
+        dq = getattr(self, "_done_queue", None)
+        if dq is not None:
+            try:
+                dq.put(None)
+            except Exception:  # noqa: BLE001 - queue may be half-built
+                pass
+        sup = getattr(self, "_supervisor", None)
+        if (
+            sup is not None and sup.is_alive()
+            and sup is not threading.current_thread()
+        ):
+            sup.join(timeout=5.0)
         for q in getattr(self, "_job_queues", []):
             try:
                 q.put(None)
@@ -1011,6 +1580,9 @@ class MPRenderPool:
                 w.join(timeout=5.0)
                 if w.is_alive():
                     w.terminate()
+                    w.join(timeout=2.0)
+                if w.is_alive():
+                    w.kill()
                     w.join()
             except Exception:  # noqa: BLE001 - teardown must not raise
                 pass
@@ -1040,14 +1612,19 @@ class MPRenderPool:
 def render_parallel_mp(
     renderer: ShearWarpRenderer,
     view: np.ndarray,
-    n_procs: int = 2,
-    kernel: str = "block",
-    profile_period: int = 0,
-    stealing: bool = True,
-    steal_chunk: int = DEFAULT_STEAL_CHUNK,
-    trace: bool = False,
+    n_procs: int | None = None,
+    kernel: str | None = None,
+    profile_period: int | None = None,
+    stealing: bool | None = None,
+    steal_chunk: int | None = None,
+    trace: bool | None = None,
+    timeout_s: float | None = None,
+    max_retries: int | None = None,
+    degrade_to_serial: bool | None = None,
+    *,
+    config: PoolConfig | None = None,
 ) -> MPRenderResult:
-    """Render one frame with ``n_procs`` worker processes.
+    """Render one frame with a transient worker pool.
 
     Uses the *new* algorithm's structure: contiguous intermediate-image
     partitions, profile-balanced via the pool's feedback loop when
@@ -1059,13 +1636,23 @@ def render_parallel_mp(
 
     One-shot convenience over :class:`MPRenderPool` — for animations
     (where a measured profile actually has a next frame to balance),
-    keep a pool alive across frames instead.  ``profile_period``
-    defaults to 0 here because a single frame can never benefit from its
-    own profile.
+    keep a pool alive across frames instead.  Accepts either a
+    :class:`PoolConfig` (``buffers`` is forced to 1: a single frame
+    cannot pipeline) or the legacy keyword arguments, whose
+    ``profile_period`` defaults to 0 here because a single frame can
+    never benefit from its own profile.
     """
-    with MPRenderPool(
-        renderer, n_procs=n_procs, kernel=kernel, buffers=1,
-        profile_period=profile_period, stealing=stealing,
-        steal_chunk=steal_chunk, trace=trace,
-    ) as pool:
+    legacy = {
+        "n_procs": n_procs, "kernel": kernel,
+        "profile_period": profile_period, "stealing": stealing,
+        "steal_chunk": steal_chunk, "trace": trace, "timeout_s": timeout_s,
+        "max_retries": max_retries, "degrade_to_serial": degrade_to_serial,
+    }
+    if config is None:
+        given = {k: v for k, v in legacy.items() if v is not None}
+        given.setdefault("profile_period", 0)
+        config = PoolConfig(buffers=1, **given)
+    else:
+        config = _config_from(config, legacy).replace(buffers=1)
+    with MPRenderPool(renderer, config=config) as pool:
         return pool.render(view)

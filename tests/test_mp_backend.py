@@ -73,8 +73,10 @@ class TestPoolErrors:
         v0 = renderer.view_from_angles(20, 30, 0)
         v1 = renderer.view_from_angles(20, 33, 0)
         v2 = renderer.view_from_angles(20, 36, 0)
-        with MPRenderPool(renderer, n_procs=2, buffers=2,
-                          profile_period=0) as pool:
+        # Retries/degradation off: this test is about error *attribution*
+        # (the fault-recovery paths are covered in test_mp_faults.py).
+        with MPRenderPool(renderer, n_procs=2, buffers=2, profile_period=0,
+                          max_retries=0, degrade_to_serial=False) as pool:
             f0 = pool.submit(v0)
             f1 = pool.submit(v1)
             # The sibling collected first still succeeds and is correct.
