@@ -43,7 +43,7 @@ import numpy as np
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from common import Stopwatch, save_bench_json  # noqa: E402
+from common import Stopwatch, host_cpu_info, save_bench_json  # noqa: E402
 
 from repro.datasets import density_wedge  # noqa: E402
 from repro.parallel.mp_backend import MPRenderPool  # noqa: E402
@@ -105,7 +105,7 @@ def main(argv: list[str] | None = None) -> int:
     report = {
         "benchmark": "adaptive_partition",
         "smoke": args.smoke,
-        "host_cpus": os.cpu_count(),
+        **host_cpu_info(),
         "phantom": {"name": "density_wedge", "shape": list(shape)},
         "n_procs": args.procs,
         "n_frames": n_frames,

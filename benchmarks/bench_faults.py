@@ -37,7 +37,7 @@ import numpy as np
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from common import Stopwatch, best_of, save_bench_json  # noqa: E402
+from common import Stopwatch, best_of, host_cpu_info, save_bench_json  # noqa: E402
 
 import repro.parallel.mp_backend as mpb  # noqa: E402
 from repro.datasets import mri_brain  # noqa: E402
@@ -143,7 +143,7 @@ def main(argv: list[str] | None = None) -> int:
     report = {
         "benchmark": "faults",
         "smoke": args.smoke,
-        "host_cpus": os.cpu_count(),
+        **host_cpu_info(),
         "phantom": {"name": "mri_brain", "shape": list(shape)},
         "n_procs": args.procs,
         "n_frames": n_frames,

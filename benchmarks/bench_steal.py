@@ -41,7 +41,7 @@ import numpy as np
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from common import Stopwatch, save_bench_json  # noqa: E402
+from common import Stopwatch, host_cpu_info, save_bench_json  # noqa: E402
 
 import repro.parallel.mp_backend as mpb  # noqa: E402
 from repro.datasets import density_wedge  # noqa: E402
@@ -135,7 +135,7 @@ def main(argv: list[str] | None = None) -> int:
     report = {
         "benchmark": "steal",
         "smoke": args.smoke,
-        "host_cpus": os.cpu_count(),
+        **host_cpu_info(),
         "phantom": {"name": "density_wedge", "shape": list(shape)},
         "n_procs": args.procs,
         "n_frames": n_frames,

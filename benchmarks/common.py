@@ -46,6 +46,23 @@ HEADLINE = "mri512"
 MRI_SETS = ("mri128", "mri256", "mri512")
 
 
+def host_cpu_info() -> dict:
+    """Host CPU facts every ``BENCH_*.json`` report should carry.
+
+    ``os.cpu_count()`` is the machine's CPU count, but containers and
+    batch schedulers routinely pin the process to a subset — speedup
+    claims are only interpretable against the *affinity* count, so both
+    are recorded (``sched_getaffinity`` is Linux-only; elsewhere the
+    affinity count falls back to ``cpu_count``).
+    """
+    cpus = os.cpu_count()
+    try:
+        affinity = len(os.sched_getaffinity(0))
+    except AttributeError:
+        affinity = cpus
+    return {"host_cpus": cpus, "host_cpus_available": affinity}
+
+
 def save_result(name: str, text: str) -> None:
     """Archive a figure's table under benchmarks/results/."""
     os.makedirs(RESULTS_DIR, exist_ok=True)

@@ -52,11 +52,16 @@ __all__ = ["__version__", "open_pool", "render_frame", *_POOL_EXPORTS]
 
 
 def open_pool(renderer, config=None, **overrides):
-    """Open a persistent :class:`MPRenderPool` (use as a context manager).
+    """Open a persistent render pool (use as a context manager).
 
     ``config`` is a :class:`PoolConfig`; keyword overrides build one
     (``open_pool(r, n_procs=4)``) or refine a given config
-    (``open_pool(r, cfg, trace=True)``).
+    (``open_pool(r, cfg, trace=True)``).  ``config.backend`` selects
+    the pool class: ``"mp"`` (default) opens the fork-based
+    :class:`MPRenderPool`, ``"thread"`` the no-copy
+    :class:`~repro.parallel.thread_backend.ThreadRenderPool` — both
+    expose the same ``submit``/``submit_batch``/``render_animation``/
+    ``result`` API and produce bit-identical images.
     """
     from .parallel.mp_backend import MPRenderPool, PoolConfig
 
@@ -64,15 +69,19 @@ def open_pool(renderer, config=None, **overrides):
         config = PoolConfig(**overrides)
     elif overrides:
         config = config.replace(**overrides)
+    if config.backend == "thread":
+        from .parallel.thread_backend import ThreadRenderPool
+
+        return ThreadRenderPool(renderer, config=config)
     return MPRenderPool(renderer, config=config)
 
 
 def render_frame(renderer, view, config=None, **overrides):
-    """Render one frame through a transient worker pool.
+    """Render one frame through a transient pool of the configured backend.
 
     The one-shot counterpart of :func:`open_pool`: ``profile_period``
     defaults to 0 here (a single frame has no next frame for its profile
-    to balance) and the pool runs with a single image buffer.
+    to balance) and the mp pool runs with a single image buffer.
     """
     from .parallel.mp_backend import PoolConfig, render_parallel_mp
 
@@ -80,6 +89,10 @@ def render_frame(renderer, view, config=None, **overrides):
         config = PoolConfig(profile_period=0, **overrides)
     elif overrides:
         config = config.replace(**overrides)
+    if config.backend == "thread":
+        from .parallel.thread_backend import render_parallel_threads
+
+        return render_parallel_threads(renderer, view, config=config)
     return render_parallel_mp(renderer, view, config=config)
 
 

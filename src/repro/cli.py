@@ -60,6 +60,9 @@ def _cmd_render(args: argparse.Namespace) -> int:
         trace=tracing,
         timeout_s=args.timeout_s,
         degrade_to_serial=args.degrade == "on",
+        backend=args.backend,
+        doorbell=args.doorbell == "on",
+        pipeline=args.batch == "on",
         **({} if args.max_retries is None else
            {"max_retries": args.max_retries}),
     )
@@ -68,15 +71,16 @@ def _cmd_render(args: argparse.Namespace) -> int:
     if frames > 1:
         # Animation through a persistent pool: this is the path where
         # --profile-period matters (profiles measured on one frame
-        # balance the partitions of the following frames).
-        from .parallel.mp_backend import MPRenderPool
+        # balance the partitions of the following frames).  --batch on
+        # (the default) submits the whole animation as one batch per
+        # worker; --backend picks processes or threads.
+        from . import open_pool
 
         views = [renderer.view_from_angles(args.rx, args.ry + i * args.ry_step,
                                            args.rz)
                  for i in range(frames)]
-        with MPRenderPool(renderer, config=cfg) as pool:
-            handles = [pool.submit(v) for v in views]
-            results = [pool.result(h) for h in handles]
+        with open_pool(renderer, config=cfg) as pool:
+            results = pool.render_animation(views)
             fault_counters = pool.fault_counters()
             if tracing:
                 pool.export_chrome_trace(args.trace_out,
@@ -91,12 +95,19 @@ def _cmd_render(args: argparse.Namespace) -> int:
                f"({steals} steals, {steal_rows} rows)"
                if cfg.stealing and args.procs > 1 else "no stealing")
         how = (f"{frames} frames, {max(1, args.procs)} procs, "
-               f"{args.kernel} kernel, {split}, {dyn}")
+               f"{args.backend} backend, {args.kernel} kernel, "
+               f"{'batched' if cfg.pipeline else 'per-frame'}, {split}, {dyn}")
     elif args.procs > 1:
         from .obs import export_chrome_trace
-        from .parallel.mp_backend import render_parallel_mp
 
-        result = render_parallel_mp(renderer, view, config=cfg)
+        if cfg.backend == "thread":
+            from .parallel.thread_backend import (
+                render_parallel_threads as _render_one,
+            )
+        else:
+            from .parallel.mp_backend import render_parallel_mp as _render_one
+
+        result = _render_one(renderer, view, config=cfg)
         if tracing:
             export_chrome_trace(
                 args.trace_out,
@@ -104,7 +115,7 @@ def _cmd_render(args: argparse.Namespace) -> int:
                 metadata={"dataset": args.dataset, "scale": args.scale,
                           "n_procs": args.procs, "kernel": args.kernel},
             )
-        how = f"{args.procs} procs, {args.kernel} kernel"
+        how = f"{args.procs} procs, {args.backend} backend, {args.kernel} kernel"
     else:
         recorder = None
         if tracing:
@@ -180,6 +191,22 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             width=14,
         ))
     frames = summary["frames"]
+    phases = summary["phases"]
+    n_frames = max(1, len(frames))
+    comp_s = phases.get("composite", {}).get("total_s", 0.0)
+    over_s = sum(
+        phases.get(p, {}).get("total_s", 0.0)
+        for p in ("wait", "barrier", "doorbell", "dispatch")
+    )
+    # The dispatch tax the batching/doorbell work attacks: time spent
+    # waiting on queues/barriers/buffer-release gates plus parent-side
+    # dispatch, against actual compositing time.
+    ratio = (f"{over_s / comp_s:.2f}x composite" if comp_s > 0
+             else "no composite spans")
+    print(f"\ndispatch overhead (wait+barrier+doorbell+dispatch): "
+          f"{over_s / n_frames * 1e3:.2f} ms vs composite "
+          f"{comp_s / n_frames * 1e3:.2f} ms per frame ({ratio}; "
+          f"pool/batch_frames={meta.get('batch_frames', 0)})")
     if frames:
         spreads = [busy_spread(list(busy.values()))
                    for busy in frames.values() if busy]
@@ -249,6 +276,19 @@ def main(argv: list[str] | None = None) -> int:
                    help="after retries are exhausted, render the frame "
                         "serially in the parent (bit-identical) instead of "
                         "failing it")
+    p.add_argument("--backend", choices=["mp", "thread"], default="mp",
+                   help="parallel backend: forked worker processes over "
+                        "shared memory (mp) or a no-copy thread pool "
+                        "exploiting numpy's GIL release (thread); "
+                        "bit-identical images either way")
+    p.add_argument("--batch", choices=["on", "off"], default="on",
+                   help="submit a --frames animation as one batch per "
+                        "worker (pipelined, amortized dispatch) instead "
+                        "of per-frame submit/result round-trips")
+    p.add_argument("--doorbell", choices=["on", "off"], default="on",
+                   help="mp backend: report frame completion through "
+                        "shared-memory cells instead of pickled "
+                        "done-queue messages")
     p.add_argument("--out", default=None, help="save image arrays to .npz")
     p.add_argument("--trace-out", default=None, metavar="PATH",
                    help="write a Chrome trace-event JSON of per-worker phase "

@@ -47,9 +47,13 @@ __all__ = [
 #: ``barrier`` the inter-phase synchronization wait (the paper's "sync
 #: time"), ``recover`` the MP pool supervisor's worker-respawn +
 #: frame-retry window after a fault (recorded on the supervisor's own
-#: track, appended last so existing phase ids stay stable).
+#: track), ``dispatch`` the parent-side frame-submission work (plan +
+#: queue put, recorded on the supervisor track), ``doorbell`` a
+#: worker's wait for the parent to release its next image buffer in
+#: batched/pipelined mode.  New phases are appended last so existing
+#: phase ids stay stable.
 PHASES = ("wait", "decode", "composite", "profile", "steal", "barrier", "warp",
-          "recover")
+          "recover", "dispatch", "doorbell")
 
 #: Counter names.  ``steals``/``steal_rows`` count successful chunk
 #: steals and the scanlines they moved — recorded by the MP pool's

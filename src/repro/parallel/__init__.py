@@ -14,6 +14,7 @@ from .mp_backend import (
     render_parallel_mp,
 )
 from .scheduler import ProcSchedule, ScheduleResult, Unit, schedule
+from .thread_backend import ThreadRenderPool, render_parallel_threads
 
 __all__ = [
     "FrameReport",
@@ -30,6 +31,8 @@ __all__ = [
     "PoolClosed",
     "PoolUnrecoverable",
     "render_parallel_mp",
+    "ThreadRenderPool",
+    "render_parallel_threads",
     "ProcSchedule",
     "ScheduleResult",
     "Unit",

@@ -74,10 +74,39 @@ Recovery is observable: ``pool/worker_restarts``,
 :attr:`MPRenderResult.retries` / :attr:`MPRenderResult.degraded` per
 frame.
 
+Dispatch, batching and the doorbell
+-----------------------------------
+Once compositing is vectorized the per-frame *compute* is a few
+milliseconds — small enough that per-frame queue round-trips, pickle
+traffic and supervisor wakeups dominate a pooled frame.  Three
+mechanisms kill that overhead (all bit-identical to the per-frame
+path):
+
+* **Batched submission** — :meth:`MPRenderPool.submit_batch` /
+  :meth:`MPRenderPool.render_animation` plan N frames up front and push
+  each worker *one* job-queue message holding the whole batch, so
+  workers run frame-to-frame without re-synchronizing with the parent
+  (MovieMaker's stage-overlap idea applied to dispatch).
+* **Cross-frame pipelining** — the image segments are already
+  double-buffered; a per-buffer *release cursor* in shared memory lets
+  a worker start compositing frame ``f`` the moment the parent has
+  collected frame ``f - buffers``, so worker compositing of frame
+  ``f+1`` overlaps the parent's copy-out/zeroing of frame ``f``.
+* **The shm doorbell** (:attr:`PoolConfig.doorbell`) — instead of one
+  pickled done-queue message per worker per frame, each worker writes
+  its completion record (frame id, busy times, steal counters) into a
+  small shared segment and rings a shared event; the supervisor reads
+  completion with a memory scan.  The done queue survives only for
+  error strings and profile cost fragments, which are rare and
+  variable-sized.
+
 All knobs live on one frozen :class:`PoolConfig`; the individual
 keyword arguments of :class:`MPRenderPool` and
 :func:`render_parallel_mp` remain as a compatibility shim that builds
-the config for you.
+the config for you.  ``PoolConfig.backend`` selects this process-based
+pool (``"mp"``) or the no-copy threading pool
+(:class:`repro.parallel.thread_backend.ThreadRenderPool`,
+``"thread"``) through the :func:`repro.open_pool` facade.
 
 On a single-core host this still runs correctly (and is exercised by
 the test suite); the wall-clock speedup study is
@@ -93,6 +122,7 @@ import queue as queue_mod
 import signal
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 
@@ -133,6 +163,7 @@ __all__ = [
     "PoolConfig",
     "render_parallel_mp",
     "COMPOSITE_KERNELS",
+    "POOL_BACKENDS",
     "DEFAULT_STEAL_CHUNK",
     "MPPoolError",
     "FrameFailed",
@@ -144,6 +175,11 @@ __all__ = [
 
 #: Compositing kernels a worker can run over its partition.
 COMPOSITE_KERNELS = ("scanline", "block")
+
+#: Pool backends selectable through ``PoolConfig.backend`` (dispatched
+#: by the ``repro.open_pool`` facade): ``"mp"`` is this module's
+#: process pool, ``"thread"`` the no-copy threading pool.
+POOL_BACKENDS = ("mp", "thread")
 
 #: Default stealing granularity, scanlines per claim/steal (section 4.4).
 #: Larger than the event-driven simulator's default (2): a pool chunk
@@ -244,6 +280,23 @@ class PoolConfig:
         Supervisor cadence for sentinel/deadline checks.  Smaller
         values detect faults faster; done messages are handled
         immediately regardless.
+    backend:
+        ``"mp"`` (this module's process pool) or ``"thread"`` (the
+        no-copy :class:`~repro.parallel.thread_backend.ThreadRenderPool`
+        exploiting numpy's GIL release).  Dispatched by the
+        ``repro.open_pool`` facade; the pool classes themselves ignore
+        it.
+    doorbell:
+        Signal frame completion through per-buffer shared-memory
+        completion records plus a shared event (a memory write instead
+        of a pickled done-queue round-trip per worker per frame).
+        ``False`` restores the per-frame done-queue protocol;
+        bit-identical either way.
+    pipeline:
+        Whether :meth:`MPRenderPool.render_animation` submits the whole
+        animation as one batch (workers run frame-to-frame, parent
+        collection overlaps worker compositing).  ``False`` falls back
+        to per-frame submit/result pairs.
     """
 
     n_procs: int = 2
@@ -258,6 +311,9 @@ class PoolConfig:
     max_retries: int = 2
     degrade_to_serial: bool = True
     poll_s: float = DEFAULT_POLL_S
+    backend: str = "mp"
+    doorbell: bool = True
+    pipeline: bool = True
 
     def __post_init__(self) -> None:
         if self.n_procs < 1:
@@ -265,6 +321,10 @@ class PoolConfig:
         if self.kernel not in COMPOSITE_KERNELS:
             raise ValueError(
                 f"kernel must be one of {COMPOSITE_KERNELS}, got {self.kernel!r}"
+            )
+        if self.backend not in POOL_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {POOL_BACKENDS}, got {self.backend!r}"
             )
         if self.buffers < 1:
             raise ValueError("need at least one image buffer")
@@ -302,6 +362,204 @@ def _config_from(config: PoolConfig | None, legacy: dict) -> PoolConfig:
             )
         return config
     return PoolConfig(**given)
+
+
+# -- doorbell layout ----------------------------------------------------------
+
+#: Floats per doorbell completion cell:
+#: ``[frame, flags, t_comp, t_warp, steals, steal_rows]``.  Each cell is
+#: written by exactly one worker and read by the parent, so no lock is
+#: needed; ``frame`` is stored *last* so a parent that reads the frame
+#: id sees the rest of the record.
+_CELL_FLOATS = 6
+
+#: Cell flag bit: this worker also put a message (error string and/or
+#: profile cost fragments) on the done queue for this frame.
+_FLAG_QUEUE_MSG = 1
+
+
+def _doorbell_bytes(buffers: int, n_procs: int) -> int:
+    """Bytes of the doorbell segment: completion cells + release cursors."""
+    return buffers * n_procs * _CELL_FLOATS * 8 + buffers * 8
+
+
+def _doorbell_views(buf, buffers: int, n_procs: int) -> tuple[np.ndarray, np.ndarray]:
+    """(cells, release) views over the doorbell segment.
+
+    ``cells[buf, pid]`` is worker ``pid``'s completion record for the
+    frame occupying image buffer ``buf``; ``release[buf]`` is the last
+    frame the parent has fully collected *and re-zeroed* out of that
+    buffer — the cursor a worker gates on before writing frame
+    ``release[buf] + buffers`` into it.
+    """
+    cells = np.ndarray((buffers, n_procs, _CELL_FLOATS), np.float64, buffer=buf)
+    release = np.ndarray(
+        (buffers,), np.int64, buffer=buf,
+        offset=buffers * n_procs * _CELL_FLOATS * 8,
+    )
+    return cells, release
+
+
+def _await_release(release, buf: int, frame: int, buffers: int, rec) -> None:
+    """Gate a worker until the parent has collected ``frame - buffers``.
+
+    The pipelining half of batched dispatch: workers run frame-to-frame
+    without talking to the parent, bounded only by this per-buffer
+    cursor (at most ``buffers`` frames of lead).  Spin briefly, then
+    sleep in sub-millisecond slices — the wait is recorded as a
+    ``doorbell`` span so pipeline stalls are visible in traces.
+    """
+    target = frame - buffers
+    if release[buf] >= target:
+        return
+    t0 = 0.0 if rec is None else rec.now()
+    spins = 0
+    while release[buf] < target:
+        spins += 1
+        time.sleep(0.0 if spins < 100 else 0.0002)
+    if rec is not None:
+        rec.span(frame, "doorbell", t0, rec.now())
+
+
+# -- shared frame planning (both backends) ------------------------------------
+
+
+class FramePlanner:
+    """Frame planning + the paper's profile feedback loop, backend-neutral.
+
+    Owns everything a pool needs to turn a view matrix into a dispatch
+    record: the factorization, the non-empty scanline band, the
+    profiling schedule (sections 4.2-4.3), the last measured
+    :class:`ScanlineProfile` and its validity key, partition boundaries
+    (uniform or profile-balanced), warp-row ownership (section 4.5) and
+    the boundary-drift metric.  :class:`MPRenderPool` and the threading
+    backend both plan through one instance of this class, so the two
+    backends cannot drift apart — the basis of their bit-identity.
+    """
+
+    def __init__(self, renderer, n_procs: int, profile_period: int,
+                 metrics: MetricsRegistry) -> None:
+        self.renderer = renderer
+        self.n_procs = n_procs
+        self.metrics = metrics
+        self.schedule = (
+            ProfileSchedule(period=profile_period) if profile_period > 0 else None
+        )
+        # Last assembled profile and the (axis, perm) it was measured
+        # under — a principal-axis switch changes the intermediate-image
+        # coordinate system, so the profile stops predicting anything.
+        self.profile: ScanlineProfile | None = None
+        self.profile_key: tuple[int, tuple[int, int, int]] | None = None
+        self._last_boundaries: np.ndarray | None = None
+        self._last_part_key: tuple[int, tuple[int, int, int]] | None = None
+
+    def plan(self, view: np.ndarray, inter_cap=None, final_cap=None) -> dict:
+        """Everything needed to dispatch one frame (deterministic)."""
+        fact = self.renderer.factorize_view(view)
+        n_v, n_u = fact.intermediate_shape
+        ny, nx = fact.final_shape
+        if inter_cap is not None and (
+            (n_v, n_u) > inter_cap or (ny, nx) > final_cap
+        ):
+            raise RuntimeError(
+                f"frame shapes {(n_v, n_u)}/{(ny, nx)} exceed pool capacity "
+                f"{inter_cap}/{final_cap} — is the view matrix scaled?"
+            )
+        rle = self.renderer.rle_for(fact)
+        v_lo, v_hi = nonempty_scanline_bounds(rle, fact)
+        if self.profile is not None and self.profile_key != (fact.axis, fact.perm):
+            self.profile = None
+            self.metrics.counter("pool/profile_invalidations").inc()
+        profiled = False
+        if self.schedule is not None:
+            profiled = self.schedule.should_profile() or self.profile is None
+            self.schedule.advance()
+        boundaries = self.partition(v_lo, v_hi)
+        # Partition-boundary drift between successive frames of the
+        # same principal axis: how far the feedback loop moves the split.
+        part_key = (fact.axis, fact.perm)
+        if (
+            self._last_boundaries is not None
+            and self._last_part_key == part_key
+            and len(self._last_boundaries) == len(boundaries)
+        ):
+            self.metrics.histogram("pool/boundary_drift").observe(
+                float(np.abs(boundaries - self._last_boundaries).mean())
+            )
+        self._last_boundaries = boundaries
+        self._last_part_key = part_key
+        owner = line_ownership(boundaries, n_v)
+        coeffs = warp_coeffs(fact)
+        src_lines = final_pixel_source_lines((ny, nx), fact, coeffs=coeffs)
+        rows_by_pid = warp_rows_by_pid(src_lines, owner, self.n_procs)
+        return {
+            "fact": fact,
+            "view": np.array(view, dtype=np.float64, copy=True),
+            "profiled": profiled,
+            "v_lo": v_lo,
+            "v_hi": v_hi,
+            "boundaries": boundaries,
+            "owner": owner,
+            "rows_by_pid": rows_by_pid,
+            "key": part_key,
+        }
+
+    def partition(self, v_lo: int, v_hi: int) -> np.ndarray:
+        """Contiguous boundaries for the next frame (section 4.3).
+
+        The profile is in the frame-it-was-measured-on's scanline
+        coordinates; successive animation viewpoints differ by a few
+        degrees, so reusing the indices is the paper's prediction step.
+        Boundaries are clamped to this frame's non-empty band.
+        """
+        prof = self.profile
+        if prof is None or prof.total <= 0:
+            return uniform_contiguous_partition(v_lo, v_hi, self.n_procs)
+        prof = prof.trim_empty()
+        if len(prof.costs) < self.n_procs:
+            return uniform_contiguous_partition(v_lo, v_hi, self.n_procs)
+        bounds = contiguous_partition(prof.costs, self.n_procs, v_lo=prof.v_lo)
+        bounds = np.clip(bounds, v_lo, v_hi)
+        bounds[0], bounds[-1] = v_lo, v_hi
+        for p in range(1, self.n_procs + 1):
+            bounds[p] = max(bounds[p], bounds[p - 1])
+        return bounds
+
+    def install_profile(self, v_lo: int, costs: np.ndarray, key) -> None:
+        """Adopt a freshly measured per-scanline profile."""
+        self.profile = ScanlineProfile(v_lo, costs)
+        self.profile_key = key
+
+
+def _apply_cost_fragments(rec: dict, pid: int, frags, t_comp: float,
+                          t_warp: float) -> None:
+    """Fold one worker's per-chunk cost fragments into a frame record.
+
+    Calibrates the op-count profile to measured *time*, which is what
+    the partition must balance (the paper's native profile is elapsed
+    time too): every chunk this worker composited — including rows it
+    stole — is scaled so together they sum to its compositing CPU time.
+    Each scanline was composited by exactly one worker, so the
+    assembled profile covers every row exactly once even when rows
+    crossed blocks.  Shared by the MP and threading backends.
+    """
+    if rec["costs"] is None:
+        rec["costs"] = np.zeros(
+            max(0, rec["v_hi"] - rec["v_lo"]), dtype=np.float64
+        )
+    total = sum(float(f.sum()) for _, f in frags)
+    scale = (t_comp / total) if total > 0 and t_comp > 0 else 1.0
+    base = rec["v_lo"]
+    for chunk_lo, f in frags:
+        off = chunk_lo - base
+        rec["costs"][off:off + len(f)] = np.asarray(f, np.float64) * scale
+    # Warp CPU time is spread over this worker's *static* block (warp
+    # rows follow the boundaries, not who stole what), so warp load
+    # moves with the boundaries on the next partition.
+    b = rec["boundaries"]
+    blo, bhi = int(b[pid]), int(b[pid + 1])
+    if bhi > blo:
+        rec["costs"][blo - base:bhi - base] += t_warp / (bhi - blo)
 
 
 # -- chaos hooks (tests, benchmarks, CI) --------------------------------------
@@ -522,7 +780,15 @@ def _steal_chunk(claims, locks, pid, chunk) -> tuple[int, int] | None:
 
 
 def _worker_loop(pid: int) -> None:
-    """Composite and warp this worker's partition, frame after frame."""
+    """Composite and warp this worker's partition, frame after frame.
+
+    A job-queue message is either ``None`` (shutdown), one job tuple,
+    or a *batch* — a list of job tuples the worker runs back to back
+    without returning to the queue.  Between batched frames the worker
+    re-synchronizes with the parent only through the per-buffer release
+    cursor (so it never runs more than ``buffers`` frames ahead of
+    collection) and the shared barrier between the frame's two phases.
+    """
     renderer: ShearWarpRenderer = _G["renderer"]
     kernel: str = _G["kernel"]
     jobs = _G["job_queues"][pid]
@@ -536,12 +802,17 @@ def _worker_loop(pid: int) -> None:
     final_floats = cap_fy * cap_fx
     steal_chunk: int = _G["steal_chunk"]
     claim_locks = _G["claim_locks"]
+    buffers: int = _G["buffers"]
     shm_c = _G.get("shm_c")
     # (buffers, n_procs, 2) head/tail cursors; None when stealing is off.
     claims = (
-        np.ndarray((_G["buffers"], _G["n_procs"], 2), np.int64, buffer=shm_c.buf)
+        np.ndarray((buffers, _G["n_procs"], 2), np.int64, buffer=shm_c.buf)
         if shm_c is not None else None
     )
+    shm_d = _G["shm_d"]
+    cells, release = _doorbell_views(shm_d.buf, buffers, _G["n_procs"])
+    use_doorbell: bool = _G["doorbell"]
+    bell = _G["bell"]
     delay = _TEST_ROW_DELAY
     burn_per_row = delay[1] if delay is not None and delay[0] == pid else 0.0
     # The injected fault is armed only for generation 0: a worker
@@ -559,146 +830,184 @@ def _worker_loop(pid: int) -> None:
 
     t_wait0 = 0.0 if rec is None else rec.now()
     while True:
-        job = jobs.get()
-        if job is None:
+        msg = jobs.get()
+        if msg is None:
             return
-        frame, buf, fact, v_lo, v_hi, owner, warp_rows, profiled = job
-        if rec is not None:
-            rec.span(frame, "wait", t_wait0, rec.now())
-        err: str | None = None
-        # Per-chunk cost fragments [(v_start, costs)] on profiled frames.
-        frags: list[tuple[int, np.ndarray]] | None = [] if profiled else None
-        n_steals = n_steal_rows = n_rows = 0
-        t_comp = t_warp = 0.0
-        # Span clocks pre-bound so the finally block can record even when
-        # a phase died before its start time was taken (the bogus span is
-        # discarded with the failed frame's timeline).
-        tc0 = tb0 = 0.0
-        cache_stats0: tuple[int, int] | None = None
-        # CPU time, not wall clock: on an oversubscribed host a worker's
-        # wall time includes slices it spent descheduled, which would
-        # poison both the profile and the busy-time report.
-        t0 = time.process_time()
+        batch = msg if isinstance(msg, list) else [msg]
+        for job in batch:
+            _render_job(pid, job, renderer, kernel, done, barrier, shm_i, shm_f,
+                        cap_iv, cap_iu, cap_fy, cap_fx, inter_floats,
+                        final_floats, steal_chunk, claim_locks, buffers, claims,
+                        cells, release, use_doorbell, bell, burn_per_row, fault,
+                        rec, t_wait0)
+            # Within a batch there is no queue wait: the next frame's
+            # wait span collapses to ~zero and any stall shows up as a
+            # ``doorbell`` span instead.
+            t_wait0 = 0.0 if rec is None else rec.now()
+
+
+def _render_job(pid, job, renderer, kernel, done, barrier, shm_i, shm_f,
+                cap_iv, cap_iu, cap_fy, cap_fx, inter_floats, final_floats,
+                steal_chunk, claim_locks, buffers, claims, cells, release,
+                use_doorbell, bell, burn_per_row, fault, rec, t_wait0) -> None:
+    """Run one frame's composite + warp and report completion."""
+    frame, buf, fact, v_lo, v_hi, owner, warp_rows, profiled = job
+    if rec is not None:
+        rec.span(frame, "wait", t_wait0, rec.now())
+    # Pipelining gate: frame f may enter buffer f % buffers only once
+    # the parent has collected and re-zeroed frame f - buffers.
+    _await_release(release, buf, frame, buffers, rec)
+    err: str | None = None
+    # Per-chunk cost fragments [(v_start, costs)] on profiled frames.
+    frags: list[tuple[int, np.ndarray]] | None = [] if profiled else None
+    n_steals = n_steal_rows = n_rows = 0
+    t_comp = t_warp = 0.0
+    # Span clocks pre-bound so the finally block can record even when
+    # a phase died before its start time was taken (the bogus span is
+    # discarded with the failed frame's timeline).
+    tc0 = tb0 = 0.0
+    cache_stats0: tuple[int, int] | None = None
+    # CPU time, not wall clock: on an oversubscribed host a worker's
+    # wall time includes slices it spent descheduled, which would
+    # poison both the profile and the busy-time report.
+    t0 = time.process_time()
+    try:
+        n_v, n_u = fact.intermediate_shape
+        ny, nx = fact.final_shape
+        base_i = buf * 2 * inter_floats
+        base_f = buf * 2 * final_floats
+        full_c = np.ndarray(
+            (cap_iv, cap_iu), np.float32, buffer=shm_i.buf, offset=base_i * 4
+        )
+        full_o = np.ndarray(
+            (cap_iv, cap_iu), np.float32, buffer=shm_i.buf,
+            offset=(base_i + inter_floats) * 4,
+        )
+        img = IntermediateImage((n_v, n_u))
+        img.color = full_c[:n_v, :n_u]
+        img.opacity = full_o[:n_v, :n_u]
+
         try:
-            n_v, n_u = fact.intermediate_shape
-            ny, nx = fact.final_shape
-            base_i = buf * 2 * inter_floats
-            base_f = buf * 2 * final_floats
-            full_c = np.ndarray(
-                (cap_iv, cap_iu), np.float32, buffer=shm_i.buf, offset=base_i * 4
-            )
-            full_o = np.ndarray(
-                (cap_iv, cap_iu), np.float32, buffer=shm_i.buf,
-                offset=(base_i + inter_floats) * 4,
-            )
-            img = IntermediateImage((n_v, n_u))
-            img.color = full_c[:n_v, :n_u]
-            img.opacity = full_o[:n_v, :n_u]
-
-            try:
-                _maybe_fault(fault, pid, frame, "decode")
-                if rec is not None:
-                    td0 = rec.now()
-                rle = renderer.rle_for(fact)
-                if rec is not None:
-                    tc0 = rec.now()
-                    rec.span(frame, "decode", td0, tc0)
-                    cache = rle.slice_cache
-                    cache_stats0 = (cache.hits, cache.misses)
-                if profiled:
-                    _maybe_fault(fault, pid, frame, "profile")
-                _maybe_fault(fault, pid, frame, "composite")
-                if claims is None:
-                    # Static pool: one kernel call over the whole band.
-                    frag = _composite_range(img, v_lo, v_hi, rle, fact,
+            _maybe_fault(fault, pid, frame, "decode")
+            if rec is not None:
+                td0 = rec.now()
+            rle = renderer.rle_for(fact)
+            if rec is not None:
+                tc0 = rec.now()
+                rec.span(frame, "decode", td0, tc0)
+                cache = rle.slice_cache
+                cache_stats0 = (cache.hits, cache.misses)
+            if profiled:
+                _maybe_fault(fault, pid, frame, "profile")
+            _maybe_fault(fault, pid, frame, "composite")
+            if claims is None:
+                # Static pool: one kernel call over the whole band.
+                frag = _composite_range(img, v_lo, v_hi, rle, fact,
+                                        kernel, profiled, rec, frame)
+                n_rows = max(0, v_hi - v_lo)
+                if frag is not None:
+                    frags.append((v_lo, frag))
+                if burn_per_row:
+                    _burn(burn_per_row * n_rows)
+            else:
+                cl = claims[buf]
+                my_lock = claim_locks[pid]
+                # Drain the head of our own block, chunk by chunk...
+                while True:
+                    got = _claim_own_chunk(cl, my_lock, pid, steal_chunk)
+                    if got is None:
+                        break
+                    lo, hi = got
+                    frag = _composite_range(img, lo, hi, rle, fact,
                                             kernel, profiled, rec, frame)
-                    n_rows = max(0, v_hi - v_lo)
+                    n_rows += hi - lo
                     if frag is not None:
-                        frags.append((v_lo, frag))
+                        frags.append((lo, frag))
                     if burn_per_row:
-                        _burn(burn_per_row * n_rows)
-                else:
-                    cl = claims[buf]
-                    my_lock = claim_locks[pid]
-                    # Drain the head of our own block, chunk by chunk...
-                    while True:
-                        got = _claim_own_chunk(cl, my_lock, pid, steal_chunk)
-                        if got is None:
-                            break
-                        lo, hi = got
-                        frag = _composite_range(img, lo, hi, rle, fact,
-                                                kernel, profiled, rec, frame)
-                        n_rows += hi - lo
-                        if frag is not None:
-                            frags.append((lo, frag))
-                        if burn_per_row:
-                            _burn(burn_per_row * (hi - lo))
-                    # ...then turn thief until every block is drained.
-                    _maybe_fault(fault, pid, frame, "steal")
-                    while True:
-                        if rec is not None:
-                            ts0 = rec.now()
-                        got = _steal_chunk(cl, claim_locks, pid, steal_chunk)
-                        if got is None:
-                            break
-                        if rec is not None:
-                            rec.span(frame, "steal", ts0, rec.now())
-                        lo, hi = got
-                        n_steals += 1
-                        n_steal_rows += hi - lo
-                        frag = _composite_range(img, lo, hi, rle, fact,
-                                                kernel, profiled, rec, frame)
-                        n_rows += hi - lo
-                        if frag is not None:
-                            frags.append((lo, frag))
-                        if burn_per_row:
-                            _burn(burn_per_row * (hi - lo))
-                if rec is not None:
-                    rec.count(frame, "rows", n_rows)
-                    rec.count(frame, "steals", n_steals)
-                    rec.count(frame, "steal_rows", n_steal_rows)
-                    rec.count(frame, "cache_hits", cache.hits - cache_stats0[0])
-                    rec.count(frame, "cache_misses",
-                              cache.misses - cache_stats0[1])
-            finally:
-                # Busy time stops at the barrier: the wait measures the
-                # *imbalance*, not this worker's work.
-                t_comp = time.process_time() - t0
-                if rec is not None:
-                    tb0 = rec.now()
-                    rec.span(frame, "composite", tc0, tb0)
-                # Siblings block on this barrier no matter what happened
-                # above — reaching it even on error prevents a deadlock.
-                # (A *dead* sibling can never arrive; the parent's
-                # supervisor detects that and terminates the stragglers.)
-                barrier.wait()
-                if rec is not None:
-                    rec.span(frame, "barrier", tb0, rec.now())
+                        _burn(burn_per_row * (hi - lo))
+                # ...then turn thief until every block is drained.
+                _maybe_fault(fault, pid, frame, "steal")
+                while True:
+                    if rec is not None:
+                        ts0 = rec.now()
+                    got = _steal_chunk(cl, claim_locks, pid, steal_chunk)
+                    if got is None:
+                        break
+                    if rec is not None:
+                        rec.span(frame, "steal", ts0, rec.now())
+                    lo, hi = got
+                    n_steals += 1
+                    n_steal_rows += hi - lo
+                    frag = _composite_range(img, lo, hi, rle, fact,
+                                            kernel, profiled, rec, frame)
+                    n_rows += hi - lo
+                    if frag is not None:
+                        frags.append((lo, frag))
+                    if burn_per_row:
+                        _burn(burn_per_row * (hi - lo))
+            if rec is not None:
+                rec.count(frame, "rows", n_rows)
+                rec.count(frame, "steals", n_steals)
+                rec.count(frame, "steal_rows", n_steal_rows)
+                rec.count(frame, "cache_hits", cache.hits - cache_stats0[0])
+                rec.count(frame, "cache_misses",
+                          cache.misses - cache_stats0[1])
+        finally:
+            # Busy time stops at the barrier: the wait measures the
+            # *imbalance*, not this worker's work.
+            t_comp = time.process_time() - t0
+            if rec is not None:
+                tb0 = rec.now()
+                rec.span(frame, "composite", tc0, tb0)
+            # Siblings block on this barrier no matter what happened
+            # above — reaching it even on error prevents a deadlock.
+            # (A *dead* sibling can never arrive; the parent's
+            # supervisor detects that and terminates the stragglers.)
+            barrier.wait()
+            if rec is not None:
+                rec.span(frame, "barrier", tb0, rec.now())
 
-            t1 = time.process_time()
-            _maybe_fault(fault, pid, frame, "warp")
-            if rec is not None:
-                tw0 = rec.now()
-            final = FinalImage((ny, nx))
-            final.color = np.ndarray(
-                (cap_fy, cap_fx), np.float32, buffer=shm_f.buf, offset=base_f * 4
-            )[:ny, :nx]
-            final.alpha = np.ndarray(
-                (cap_fy, cap_fx), np.float32, buffer=shm_f.buf,
-                offset=(base_f + final_floats) * 4,
-            )[:ny, :nx]
-            coeffs = warp_coeffs(fact)  # one 2x2 inverse per frame
-            for y in warp_rows:
-                warp_scanline(final, int(y), img, fact, line_owner=owner,
-                              pid=pid, coeffs=coeffs)
-            t_warp = time.process_time() - t1
-            if rec is not None:
-                rec.span(frame, "warp", tw0, rec.now())
-        except Exception as exc:  # noqa: BLE001 - forwarded to the parent
-            err = f"{type(exc).__name__}: {exc}"
-            frags = None
+        t1 = time.process_time()
+        _maybe_fault(fault, pid, frame, "warp")
         if rec is not None:
-            t_wait0 = rec.now()
+            tw0 = rec.now()
+        final = FinalImage((ny, nx))
+        final.color = np.ndarray(
+            (cap_fy, cap_fx), np.float32, buffer=shm_f.buf, offset=base_f * 4
+        )[:ny, :nx]
+        final.alpha = np.ndarray(
+            (cap_fy, cap_fx), np.float32, buffer=shm_f.buf,
+            offset=(base_f + final_floats) * 4,
+        )[:ny, :nx]
+        coeffs = warp_coeffs(fact)  # one 2x2 inverse per frame
+        for y in warp_rows:
+            warp_scanline(final, int(y), img, fact, line_owner=owner,
+                          pid=pid, coeffs=coeffs)
+        t_warp = time.process_time() - t1
+        if rec is not None:
+            rec.span(frame, "warp", tw0, rec.now())
+    except Exception as exc:  # noqa: BLE001 - forwarded to the parent
+        err = f"{type(exc).__name__}: {exc}"
+        frags = None
+    if use_doorbell:
+        # Completion is a shm write, not a pickle: the parent's
+        # supervisor reads the cell when the bell rings.  Errors and
+        # profile fragments still ride the queue (rare + variable
+        # size); the flag tells the parent to await that message
+        # before treating the cell as fully absorbed.
+        flags = _FLAG_QUEUE_MSG if (err is not None or frags) else 0
+        if flags:
+            done.put((pid, frame, err, frags, t_comp, t_warp,
+                      n_steals, n_steal_rows))
+        cell = cells[buf, pid]
+        cell[1] = flags
+        cell[2] = t_comp
+        cell[3] = t_warp
+        cell[4] = n_steals
+        cell[5] = n_steal_rows
+        cell[0] = frame  # written last: a reader seeing it sees the rest
+        bell.set()
+    else:
         done.put((pid, frame, err, frags, t_comp, t_warp,
                   n_steals, n_steal_rows))
 
@@ -763,6 +1072,7 @@ class MPRenderPool:
         self._job_queues: list = []
         self._done_queue = None
         self._shm_i = self._shm_f = self._shm_c = self._shm_t = None
+        self._shm_d = None
         self._cond = threading.Condition()
         self._stop = threading.Event()
         self._supervisor: threading.Thread | None = None
@@ -792,15 +1102,6 @@ class MPRenderPool:
         self.trace_capacity = cfg.trace_capacity
         # One worker has nobody to steal from; skip the claim traffic.
         self._steal_active = cfg.stealing and cfg.n_procs > 1
-        self._schedule = (
-            ProfileSchedule(period=cfg.profile_period)
-            if cfg.profile_period > 0 else None
-        )
-        # Last assembled profile and the (axis, perm) it was measured
-        # under — a principal-axis switch changes the intermediate-image
-        # coordinate system, so the profile stops predicting anything.
-        self._profile: ScanlineProfile | None = None
-        self._profile_key: tuple[int, tuple[int, int, int]] | None = None
         self.inter_cap, self.final_cap = _capacity_shapes(renderer.shape)
         cap_iv, cap_iu = self.inter_cap
         cap_fy, cap_fx = self.final_cap
@@ -843,16 +1144,39 @@ class MPRenderPool:
             )
             self._claims.fill(0)
 
+        # Doorbell segment: per-buffer completion cells plus the release
+        # cursors the workers gate buffer reuse on (batched pipelining).
+        # Allocated unconditionally — the release cursors are the reuse
+        # protocol even when doorbell *completion* is switched off.
+        self._shm_d = shared_memory.SharedMemory(
+            create=True, size=_doorbell_bytes(self.buffers, self.n_procs)
+        )
+        self._cells, self._release = _doorbell_views(
+            self._shm_d.buf, self.buffers, self.n_procs
+        )
+        self._cells.fill(0.0)
+        self._cells[:, :, 0] = -1.0  # no frame has completed anywhere
+        # Buffer b is born free for frame b: its gate target is b - buffers.
+        self._release[:] = np.arange(self.buffers) - self.buffers
+        # Deferred claim-cursor seeding: buf -> frames dispatched into a
+        # buffer whose earlier occupant was still in flight (batch mode).
+        self._claims_pending: dict[int, deque] = {}
+        self._last_complete_t = time.monotonic()
+        # Any frame waiting on an error/fragment queue message already
+        # in flight?  Makes the doorbell supervisor poll fast.
+        self._q_deferred = False
+
         # Observability: the registry always exists (submit updates pool
         # health gauges either way); the span rings are allocated only
         # when tracing so an untraced pool carries no extra segment.
         self.metrics = MetricsRegistry()
+        self._planner = FramePlanner(
+            self.renderer, self.n_procs, self.profile_period, self.metrics
+        )
         self.timelines: list[FrameTimeline] = []
         self._trace_epoch = time.perf_counter()
         self._readers: list[RingReader] = []
         self._frame_obs: dict[int, FrameTimeline] = {}
-        self._last_boundaries: np.ndarray | None = None
-        self._last_part_key: tuple[int, tuple[int, int, int]] | None = None
         self._sup_rec: SpanRecorder | None = None
         self._sup_reader: RingReader | None = None
         if self.trace:
@@ -874,12 +1198,11 @@ class MPRenderPool:
         # frame's error is raised only from its own result() call, never
         # from a sibling's.
         self._failed: dict[int, MPPoolError] = {}
-        # Per-buffer state: the frame occupying it and the image shapes
-        # its last occupant dirtied (so reuse only zeroes those regions).
+        # Per-buffer state: the *latest* frame assigned to it.  The
+        # buffer's contents are re-zeroed when each occupant retires
+        # (see ``_retire_buffer_locked``), so a freshly released buffer
+        # is always clean for its next frame.
         self._buf_frame: list[int | None] = [None] * self.buffers
-        self._buf_dirty: list[tuple[tuple[int, int], tuple[int, int]] | None] = (
-            [None] * self.buffers
-        )
 
         self._spawn_workers(generation=0)
         self._supervisor = threading.Thread(
@@ -905,6 +1228,10 @@ class MPRenderPool:
         claim_locks = (
             [ctx.Lock() for _ in range(self.n_procs)] if self._steal_active else []
         )
+        # Fresh bell per generation: a terminated worker's last ring must
+        # not wake the supervisor into reading its half-written cells
+        # (recovery zeroes the cells before the new set starts anyway).
+        self._bell = ctx.Event()
         _G.update(
             renderer=self.renderer,
             kernel=self.kernel,
@@ -920,6 +1247,9 @@ class MPRenderPool:
             steal_chunk=self.steal_chunk,
             claim_locks=claim_locks,
             shm_c=self._shm_c,
+            shm_d=self._shm_d,
+            doorbell=self.config.doorbell,
+            bell=self._bell,
             shm_t=self._shm_t,
             trace_capacity=self.trace_capacity,
             trace_epoch=self._trace_epoch,
@@ -961,154 +1291,187 @@ class MPRenderPool:
         """
         with self._cond:
             self._raise_if_unusable()
-            fact = self.renderer.factorize_view(view)
-            n_v, n_u = fact.intermediate_shape
-            ny, nx = fact.final_shape
-            if (n_v, n_u) > self.inter_cap or (ny, nx) > self.final_cap:
-                raise RuntimeError(
-                    f"frame shapes {(n_v, n_u)}/{(ny, nx)} exceed pool capacity "
-                    f"{self.inter_cap}/{self.final_cap} — is the view matrix scaled?"
-                )
-
-            rle = self.renderer.rle_for(fact)
-            v_lo, v_hi = nonempty_scanline_bounds(rle, fact)
-
-            # Pool-health gauges, sampled at submit time: how deep the
-            # pipeline is and how many shared buffers are still occupied
-            # by unfinished frames.  (The supervisor absorbs done
-            # messages continuously, so the profile is always fresh.)
-            self.metrics.gauge("pool/queue_depth").set(len(self._inflight))
-            self.metrics.gauge("pool/buffer_occupancy").set(
-                sum(1 for f in self._buf_frame if f is not None and f in self._inflight)
-            )
-            if self._profile is not None and self._profile_key != (fact.axis, fact.perm):
-                self._profile = None
-                self.metrics.counter("pool/profile_invalidations").inc()
-            profiled = False
-            if self._schedule is not None:
-                profiled = self._schedule.should_profile() or self._profile is None
-                self._schedule.advance()
-            boundaries = self._partition(v_lo, v_hi)
-            # Partition-boundary drift between successive frames of the
-            # same principal axis: how far the feedback loop moves the
-            # split.
-            part_key = (fact.axis, fact.perm)
-            if (
-                self._last_boundaries is not None
-                and self._last_part_key == part_key
-                and len(self._last_boundaries) == len(boundaries)
-            ):
-                self.metrics.histogram("pool/boundary_drift").observe(
-                    float(np.abs(boundaries - self._last_boundaries).mean())
-                )
-            self._last_boundaries = boundaries
-            self._last_part_key = part_key
-            owner = line_ownership(boundaries, n_v)
-            coeffs = warp_coeffs(fact)
-            src_lines = final_pixel_source_lines((ny, nx), fact, coeffs=coeffs)
-            rows_by_pid = warp_rows_by_pid(src_lines, owner, self.n_procs)
-
+            t_d0 = self._sup_rec.now() if self._sup_rec is not None else 0.0
+            plan = self._planner.plan(view, self.inter_cap, self.final_cap)
+            self._sample_gauges_locked()
             # Everything fallible is done — only now wait for a buffer
             # and claim a frame id, so a failed submit leaves no
             # bookkeeping behind (no consumed id, no buffer marked
-            # occupied/dirty by a frame that was never queued).
+            # occupied by a frame that was never queued).
             buf = self._next_frame % self.buffers
             prev = self._buf_frame[buf]
             while prev is not None and prev in self._inflight:
                 self._wait_event()  # supervisor completes/retires frames
                 prev = self._buf_frame[buf]
-            frame = self._next_frame
-            self._next_frame += 1
-            self._buf_frame[buf] = frame
-            self._inflight[frame] = {
-                "buf": buf,
-                "fact": fact,
-                "view": np.array(view, dtype=np.float64, copy=True),
-                "done": 0,
-                "errors": [],
-                "profiled": profiled,
-                "v_lo": v_lo,
-                "v_hi": v_hi,
-                "costs": None,
-                "busy": np.zeros(self.n_procs, dtype=np.float64),
-                "boundaries": boundaries,
-                "owner": owner,
-                "rows_by_pid": rows_by_pid,
-                "key": (fact.axis, fact.perm),
-                "steals": 0,
-                "steal_rows": 0,
-                "attempt": 0,
-                "deadline": None,
-            }
+            frame = self._claim_frame_locked(plan, batched=False)
             self._dispatch_locked(frame)
+            if self._sup_rec is not None:
+                self._sup_rec.span(frame, "dispatch", t_d0, self._sup_rec.now())
             return frame
 
-    def _dispatch_locked(self, frame: int) -> None:
-        """(Re-)send ``frame``'s jobs to every worker.  Lock held.
+    def submit_batch(self, views) -> list[int]:
+        """Dispatch a whole animation in one queue round-trip per worker.
 
-        Used by ``submit`` for the first attempt and by the recovery
-        paths for retries: the saved record carries everything needed to
-        reproduce the exact same partition, so a retried frame is
-        bit-identical to what the lost attempt would have produced.
+        Every frame is planned up front — the profile feedback loop
+        still advances frame to frame, and planning is deterministic, so
+        the partitions (and therefore the pixels) are identical to
+        per-frame submission.  Each worker then receives its entire job
+        list as a *single* queue message and runs frame to frame gated
+        only by the per-buffer release cursors: the parent's collection
+        of frame ``f`` overlaps the workers' compositing of ``f+1``
+        (MovieMaker's stage overlap), and the pickle/queue/wakeup cost
+        is amortized over the batch instead of paid per frame.
+
+        Returns the frame ids in submission order; collect them with
+        :meth:`result` (in order, for buffer reuse to stream).
+
+        Because every frame is planned before any completes, a profile
+        measured *inside* the batch balances the next batch, not this
+        one — the feedback loop crosses batch boundaries.  Partitions
+        never change pixels (only which worker composites which rows),
+        so batched output stays bit-identical to per-frame submission.
+        """
+        views = list(views)
+        with self._cond:
+            self._raise_if_unusable()
+            if not views:
+                return []
+            t_d0 = self._sup_rec.now() if self._sup_rec is not None else 0.0
+            frames: list[int] = []
+            per_worker: list[list[tuple]] = [[] for _ in range(self.n_procs)]
+            for view in views:
+                plan = self._planner.plan(view, self.inter_cap, self.final_cap)
+                frame = self._claim_frame_locked(plan, batched=True)
+                jobs = self._prepare_dispatch_locked(frame)
+                for pid in range(self.n_procs):
+                    per_worker[pid].append(jobs[pid])
+                frames.append(frame)
+            for pid in range(self.n_procs):
+                self._job_queues[pid].put(per_worker[pid])
+            self.metrics.counter("pool/batch_frames").inc(len(frames))
+            self._sample_gauges_locked()
+            if self._sup_rec is not None:
+                self._sup_rec.span(frames[0], "dispatch", t_d0,
+                                   self._sup_rec.now())
+            return frames
+
+    def render_animation(self, views) -> list[MPRenderResult]:
+        """Render a sequence of views, returning results in order.
+
+        With ``config.pipeline`` (the default) the whole animation goes
+        out as one batch; ``pipeline=False`` falls back to per-frame
+        submit/result pairs (still overlapped up to ``buffers`` frames
+        deep by the classic protocol).  Pixels are identical either way.
+        """
+        if self.config.pipeline:
+            return [self.result(f) for f in self.submit_batch(views)]
+        handles = [self.submit(v) for v in views]
+        return [self.result(h) for h in handles]
+
+    def _claim_frame_locked(self, plan: dict, batched: bool) -> int:
+        """Allocate the next frame id and its in-flight record."""
+        frame = self._next_frame
+        self._next_frame += 1
+        buf = frame % self.buffers
+        self._buf_frame[buf] = frame
+        rec = {
+            "buf": buf,
+            "done": 0,
+            "errors": [],
+            "costs": None,
+            "busy": np.zeros(self.n_procs, dtype=np.float64),
+            "steals": 0,
+            "steal_rows": 0,
+            "attempt": 0,
+            "deadline": None,
+            "dispatch_t": 0.0,
+            "batched": batched,
+            "was_dispatched": False,
+            "cells_absorbed": False,
+            "q_seen": 0,
+            "q_expected": 0,
+        }
+        rec.update(plan)
+        self._inflight[frame] = rec
+        return frame
+
+    def _sample_gauges_locked(self) -> None:
+        """Pool-health gauges, sampled at submit time: how deep the
+        pipeline is and how many shared buffers are still occupied by
+        unfinished frames."""
+        self.metrics.gauge("pool/queue_depth").set(len(self._inflight))
+        self.metrics.gauge("pool/buffer_occupancy").set(
+            sum(1 for f in self._buf_frame if f is not None and f in self._inflight)
+        )
+
+    def _dispatch_locked(self, frame: int) -> None:
+        """(Re-)send ``frame``'s jobs to every worker.  Lock held."""
+        jobs = self._prepare_dispatch_locked(frame)
+        for pid in range(self.n_procs):
+            self._job_queues[pid].put(jobs[pid])
+
+    def _prepare_dispatch_locked(self, frame: int) -> list[tuple]:
+        """Reset ``frame``'s record and buffer; build its per-worker jobs.
+
+        Used by ``submit``/``submit_batch`` for the first attempt and by
+        the recovery paths for retries: the saved record carries
+        everything needed to reproduce the exact same partition, so a
+        retried frame is bit-identical to what the lost attempt would
+        have produced.
         """
         rec = self._inflight[frame]
         buf = rec["buf"]
         fact = rec["fact"]
         boundaries = rec["boundaries"]
-        self._zero_buffer(buf)  # clears partial writes of a lost attempt
-        self._buf_dirty[buf] = (fact.intermediate_shape, fact.final_shape)
+        # In batch mode an earlier in-flight frame may still occupy this
+        # buffer: its *retirement* zeroes the images and seeds our claim
+        # cursors, all before the release cursor lets any worker in.
+        occupied = any(
+            g < frame and r["buf"] == buf for g, r in self._inflight.items()
+        )
+        if occupied:
+            self._claims_pending.setdefault(buf, deque()).append(frame)
+        else:
+            if rec["was_dispatched"]:
+                # Re-dispatch into a free buffer: clear the lost
+                # attempt's partial writes.
+                self._zero_images_locked(buf, fact)
+            self._cells[buf, :, 0] = -1.0
+            if self._claims is not None:
+                # Seed the claim cursors to the static boundaries
+                # *before* the jobs go out — the queue put is the
+                # happens-before edge that makes these writes visible
+                # to every worker.
+                self._claims[buf, :, 0] = boundaries[:-1]
+                self._claims[buf, :, 1] = boundaries[1:]
         rec["done"] = 0
         rec["errors"] = []
         rec["costs"] = None
         rec["busy"][:] = 0.0
         rec["steals"] = 0
         rec["steal_rows"] = 0
+        rec["cells_absorbed"] = False
+        rec["q_seen"] = 0
+        rec["q_expected"] = 0
+        rec["was_dispatched"] = True
+        rec["dispatch_t"] = time.monotonic()
         rec["deadline"] = (
-            time.monotonic() + self.config.timeout_s
+            rec["dispatch_t"] + self.config.timeout_s
             if self.config.timeout_s is not None else None
         )
-        if self._claims is not None:
-            # Seed the claim cursors to the static boundaries *before*
-            # the jobs go out — the queue put is the happens-before edge
-            # that makes these writes visible to every worker (and no
-            # worker touches this buffer slot until its job arrives: the
-            # slot's previous frame was fully collected above).
-            self._claims[buf, :, 0] = boundaries[:-1]
-            self._claims[buf, :, 1] = boundaries[1:]
-        for pid in range(self.n_procs):
-            self._job_queues[pid].put(
-                (
-                    frame,
-                    buf,
-                    fact,
-                    int(boundaries[pid]),
-                    int(boundaries[pid + 1]),
-                    rec["owner"],
-                    rec["rows_by_pid"][pid],
-                    rec["profiled"],
-                )
+        return [
+            (
+                frame,
+                buf,
+                fact,
+                int(boundaries[pid]),
+                int(boundaries[pid + 1]),
+                rec["owner"],
+                rec["rows_by_pid"][pid],
+                rec["profiled"],
             )
-
-    def _partition(self, v_lo: int, v_hi: int) -> np.ndarray:
-        """Contiguous boundaries for the next frame (section 4.3).
-
-        The profile is in the frame-it-was-measured-on's scanline
-        coordinates; successive animation viewpoints differ by a few
-        degrees, so reusing the indices is the paper's prediction step.
-        Boundaries are clamped to this frame's non-empty band.
-        """
-        prof = self._profile
-        if prof is None or prof.total <= 0:
-            return uniform_contiguous_partition(v_lo, v_hi, self.n_procs)
-        prof = prof.trim_empty()
-        if len(prof.costs) < self.n_procs:
-            return uniform_contiguous_partition(v_lo, v_hi, self.n_procs)
-        bounds = contiguous_partition(prof.costs, self.n_procs, v_lo=prof.v_lo)
-        bounds = np.clip(bounds, v_lo, v_hi)
-        bounds[0], bounds[-1] = v_lo, v_hi
-        for p in range(1, self.n_procs + 1):
-            bounds[p] = max(bounds[p], bounds[p - 1])
-        return bounds
+            for pid in range(self.n_procs)
+        ]
 
     def result(self, frame: int) -> MPRenderResult:
         """Wait for ``frame`` and return its images (copies).
@@ -1170,8 +1533,50 @@ class MPRenderPool:
         sentinels, per-frame deadlines) is checked at most every
         ``poll_s`` seconds so a busy pool pays a bounded supervision
         cost — measured by ``benchmarks/bench_faults.py`` (< 2% target).
+
+        In doorbell mode the wake signal is the workers' shared bell
+        event, cleared *before* the cells are read: a cell written after
+        the read re-rings the bell, so no completion is ever missed.
+        The queue is drained non-blocking for the rare error/fragment
+        messages; a frame whose cells flag such a message still in
+        flight is deferred and the loop polls fast until it lands.
         """
         while not self._stop.is_set():
+            if self.config.doorbell:
+                bell = self._bell
+                bell.wait(0.002 if self._q_deferred else self.config.poll_s)
+                bell.clear()
+                with self._cond:
+                    if self._closed or self._stop.is_set():
+                        return
+                    try:
+                        while True:
+                            try:
+                                m = self._done_queue.get_nowait()
+                            except queue_mod.Empty:
+                                break
+                            except (OSError, ValueError, EOFError):
+                                return  # queue torn down: pool is closing
+                            if m is not None:
+                                self._handle_done(m)
+                        self._process_doorbell_locked()
+                        self._q_deferred = any(
+                            r["q_seen"] < r["q_expected"]
+                            for r in self._inflight.values()
+                        )
+                        now = time.monotonic()
+                        if now >= self._health_due:
+                            self._health_due = now + self.config.poll_s
+                            self._check_health_locked()
+                    except Exception as exc:  # noqa: BLE001
+                        self._broken = (
+                            f"supervisor failure: {type(exc).__name__}: {exc}"
+                        )
+                    finally:
+                        self._cond.notify_all()
+                    if self._broken is not None:
+                        return
+                continue
             queue = self._done_queue
             try:
                 msg = queue.get(timeout=self.config.poll_s)
@@ -1208,17 +1613,30 @@ class MPRenderPool:
                     return
 
     def _check_health_locked(self) -> None:
-        """Detect dead workers and expired frame deadlines."""
+        """Detect dead workers and expired frame deadlines.
+
+        Only the *oldest* in-flight frame can expire: a batch dispatches
+        many frames at one instant, so a later frame's from-dispatch
+        deadline would fire while the workers are still legitimately
+        chewing through its predecessors.  Each completion re-arms the
+        clock (``_last_complete_t``), so a deadline only trips when the
+        pipeline as a whole has stopped making progress.
+        """
         dead = [pid for pid, w in enumerate(self._workers) if not w.is_alive()]
         now = time.monotonic()
-        expired = [
-            f for f, rec in self._inflight.items()
-            if rec["deadline"] is not None and now > rec["deadline"]
-        ]
+        expired: list[int] = []
+        if self._inflight and self.config.timeout_s is not None:
+            frame = min(self._inflight)
+            rec = self._inflight[frame]
+            if rec["deadline"] is not None and now > max(
+                rec["deadline"], self._last_complete_t + self.config.timeout_s
+            ):
+                expired = [frame]
         if dead or expired:
             self._recover_locked(dead, expired)
 
-    def _recover_locked(self, dead: list[int], expired: list[int]) -> None:
+    def _recover_locked(self, dead: list[int], expired: list[int],
+                        cause: str | None = None) -> None:
         """Rebuild the worker set and re-dispatch the lost frames.
 
         A dead or wedged worker poisons everything downstream of the
@@ -1230,10 +1648,11 @@ class MPRenderPool:
         """
         t0 = time.perf_counter()
         trec0 = self._sup_rec.now() if self._sup_rec is not None else 0.0
-        cause = (
-            f"worker(s) {dead} died" if dead else
-            f"frame(s) {sorted(expired)} exceeded timeout_s={self.config.timeout_s}"
-        )
+        if cause is None:
+            cause = (
+                f"worker(s) {dead} died" if dead else
+                f"frame(s) {sorted(expired)} exceeded timeout_s={self.config.timeout_s}"
+            )
         # Stop the entire worker set: survivors may be wedged at the
         # barrier waiting for a casualty that will never arrive.
         for w in self._workers:
@@ -1254,6 +1673,10 @@ class MPRenderPool:
                 pass
         self.metrics.counter("pool/worker_restarts").inc(len(self._workers))
         self._close_queues()
+        # The old generation's completion cells and deferred claim
+        # seeds are stale; the re-dispatch loop below rebuilds both.
+        self._cells[:, :, 0] = -1.0
+        self._claims_pending.clear()
 
         # Retire or retry every in-flight frame.
         expired_set = set(expired)
@@ -1267,6 +1690,7 @@ class MPRenderPool:
                 self._degrade_locked(frame)
             else:
                 del self._inflight[frame]
+                self._retire_buffer_locked(frame, rec)
                 exc_type = FrameTimeout if frame in expired_set else WorkerDied
                 self._failed[frame] = exc_type(
                     f"frame {frame} lost ({cause}) after "
@@ -1289,7 +1713,8 @@ class MPRenderPool:
                 if self.config.degrade_to_serial:
                     self._degrade_locked(frame)
                 else:
-                    del self._inflight[frame]
+                    rec = self._inflight.pop(frame)
+                    self._retire_buffer_locked(frame, rec)
                     self._failed[frame] = PoolUnrecoverable(self._broken)
             return
 
@@ -1323,6 +1748,7 @@ class MPRenderPool:
         produced; only the per-worker observables are absent.
         """
         rec = self._inflight.pop(frame)
+        self._retire_buffer_locked(frame, rec)
         try:
             res = render_fast(self.renderer, rec["view"])
         except Exception as exc:  # noqa: BLE001 - surface, don't hang
@@ -1346,10 +1772,23 @@ class MPRenderPool:
         )
 
     def _handle_done(self, msg: tuple) -> None:
-        """Account one worker's done message to its frame's record."""
+        """Account one worker's done message to its frame's record.
+
+        In doorbell mode only error strings and profile cost fragments
+        travel the queue (completion itself lives in the shm cells), so
+        the message just feeds the record; whether the frame is finished
+        is decided by :meth:`_process_doorbell_locked`.
+        """
         pid, frame, err, frags, t_comp, t_warp, n_steals, n_steal_rows = msg
         rec = self._inflight.get(frame)
         if rec is None:
+            return
+        if self.config.doorbell:
+            rec["q_seen"] += 1
+            if err is not None:
+                rec["errors"].append(f"worker {pid}: {err}")
+            elif frags:
+                _apply_cost_fragments(rec, pid, frags, t_comp, t_warp)
             return
         rec["done"] += 1
         rec["busy"][pid] = t_comp + t_warp
@@ -1358,32 +1797,39 @@ class MPRenderPool:
         if err is not None:
             rec["errors"].append(f"worker {pid}: {err}")
         elif frags:
-            if rec["costs"] is None:
-                rec["costs"] = np.zeros(
-                    max(0, rec["v_hi"] - rec["v_lo"]), dtype=np.float64
-                )
-            # Calibrate the op-count profile to measured *time*, which is
-            # what the partition must balance (the paper's native profile
-            # is elapsed time too): scale every chunk this worker
-            # composited — including rows it stole — so together they sum
-            # to its compositing CPU time.  Each scanline was composited
-            # by exactly one worker, so the assembled profile covers every
-            # row exactly once even when rows crossed blocks.
-            total = sum(float(f.sum()) for _, f in frags)
-            scale = (t_comp / total) if total > 0 and t_comp > 0 else 1.0
-            base = rec["v_lo"]
-            for chunk_lo, f in frags:
-                off = chunk_lo - base
-                rec["costs"][off:off + len(f)] = np.asarray(f, np.float64) * scale
-            # Warp CPU time is spread over this worker's *static* block
-            # (warp rows follow the boundaries, not who stole what), so
-            # warp load moves with the boundaries on the next partition.
-            b = rec["boundaries"]
-            blo, bhi = int(b[pid]), int(b[pid + 1])
-            if bhi > blo:
-                rec["costs"][blo - base:bhi - base] += t_warp / (bhi - blo)
+            _apply_cost_fragments(rec, pid, frags, t_comp, t_warp)
         if rec["done"] >= self.n_procs:
             self._finish(frame)
+
+    def _process_doorbell_locked(self) -> None:
+        """Finish frames whose completion cells are all filled in.
+
+        Completion is in frame order (each worker runs its jobs in
+        order), so scan from the oldest in-flight frame and stop at the
+        first incomplete one.  Cells are absorbed exactly once; a frame
+        whose cells flag an error/fragment queue message still in flight
+        is deferred until the message lands.
+        """
+        while self._inflight:
+            frame = min(self._inflight)
+            rec = self._inflight[frame]
+            cells = self._cells[rec["buf"]]
+            if not rec["cells_absorbed"]:
+                if not bool(np.all(cells[:, 0] == frame)):
+                    return
+                for pid in range(self.n_procs):
+                    c = cells[pid]
+                    rec["busy"][pid] = c[2] + c[3]
+                    rec["steals"] += int(c[4])
+                    rec["steal_rows"] += int(c[5])
+                    if int(c[1]) & _FLAG_QUEUE_MSG:
+                        rec["q_expected"] += 1
+                rec["cells_absorbed"] = True
+            if rec["q_seen"] < rec["q_expected"]:
+                return  # error/fragment message still on the queue
+            self._finish(frame)
+            if frame in self._inflight:
+                return  # re-dispatched (retry/recovery) — wait afresh
 
     def _finish(self, frame: int) -> None:
         """All workers reported: materialise, retry, degrade, or fail."""
@@ -1397,6 +1843,15 @@ class MPRenderPool:
             # dirty, so the re-dispatch zeroes whatever was written.
             msg = "; ".join(rec["errors"])
             if rec["attempt"] < self.config.max_retries:
+                if rec["batched"]:
+                    # Workers still hold the rest of the batch in their
+                    # queues; appending a retry *behind* it would reorder
+                    # buffer reuse.  Escalate to full recovery instead:
+                    # queues are rebuilt and every unfinished frame is
+                    # re-dispatched in order (finished frames are already
+                    # materialized and are not re-rendered).
+                    self._recover_locked([], [], cause=f"frame {frame}: {msg}")
+                    return
                 rec["attempt"] += 1
                 self.metrics.counter("pool/frames_retried").inc()
                 self._dispatch_locked(frame)
@@ -1405,6 +1860,7 @@ class MPRenderPool:
                 self._degrade_locked(frame)
                 return
             del self._inflight[frame]
+            self._retire_buffer_locked(frame, rec)
             self._failed[frame] = FrameFailed(msg)
             return
         if timeline is not None:
@@ -1414,8 +1870,7 @@ class MPRenderPool:
             self.metrics.counter("pool/steals").inc(rec["steals"])
             self.metrics.counter("pool/steal_rows").inc(rec["steal_rows"])
         if rec["profiled"] and rec["costs"] is not None:
-            self._profile = ScanlineProfile(rec["v_lo"], rec["costs"])
-            self._profile_key = rec["key"]
+            self._planner.install_profile(rec["v_lo"], rec["costs"], rec["key"])
         self._materialize(frame, timeline)
 
     def _collect_timeline(self, frame: int) -> FrameTimeline | None:
@@ -1445,7 +1900,8 @@ class MPRenderPool:
         return self._frame_obs.pop(frame, None)
 
     def _materialize(self, frame: int, timeline: FrameTimeline | None = None) -> None:
-        """Copy a completed frame out of its shared buffer."""
+        """Copy a completed frame out of its shared buffer and retire it."""
+        t0 = time.perf_counter()
         info = self._inflight.pop(frame)
         fact: ShearWarpFactorization = info["fact"]
         buf = info["buf"]
@@ -1470,6 +1926,14 @@ class MPRenderPool:
             steal_rows=info["steal_rows"],
             retries=info["attempt"],
         )
+        self._retire_buffer_locked(frame, info)
+        if self._inflight:
+            # Workers are compositing later frames while the parent
+            # copies this one out: the copy/zero time that the classic
+            # per-frame protocol would serialize is overlapped.
+            self.metrics.counter("pool/pipeline_overlap_s").inc(
+                time.perf_counter() - t0
+            )
 
     # -- shared-buffer plumbing ----------------------------------------------
 
@@ -1481,16 +1945,46 @@ class MPRenderPool:
         off = (buf * 2 + plane) * self._final_floats * 4
         return np.ndarray(self.final_cap, np.float32, buffer=self._shm_f.buf, offset=off)
 
-    def _zero_buffer(self, buf: int) -> None:
-        """Zero only the regions the buffer's previous frame wrote."""
-        dirty = self._buf_dirty[buf]
-        if dirty is None:
-            return  # fresh buffer, already zero
-        (n_v, n_u), (ny, nx) = dirty
+    def _zero_images_locked(self, buf: int, fact) -> None:
+        """Zero the image regions ``fact``'s frame writes in ``buf``.
+
+        Outside those regions the buffer stays zero by induction: every
+        retiring occupant cleans exactly what it wrote.
+        """
+        n_v, n_u = fact.intermediate_shape
+        ny, nx = fact.final_shape
         for plane in (0, 1):
             self._inter_view(buf, plane)[:n_v, :n_u].fill(0.0)
             self._final_view(buf, plane)[:ny, :nx].fill(0.0)
-        self._buf_dirty[buf] = None
+
+    def _retire_buffer_locked(self, frame: int, rec: dict) -> None:
+        """Release ``frame``'s buffer to its next occupant.
+
+        Zeroes the regions the frame wrote, resets the buffer's
+        completion cells, seeds the next occupant's claim cursors if it
+        was dispatched while the buffer was still busy (batch mode), and
+        only *then* bumps the release cursor — the cursor is the
+        happens-before edge the gated worker spins on, so everything
+        written here is visible before any worker touches the buffer.
+        Also re-arms the progress clock the frame deadlines run on.
+        """
+        buf = rec["buf"]
+        if rec["was_dispatched"]:
+            self._zero_images_locked(buf, rec["fact"])
+        self._cells[buf, :, 0] = -1.0
+        pending = self._claims_pending.get(buf)
+        while pending:
+            nxt = pending.popleft()
+            nrec = self._inflight.get(nxt)
+            if nxt > frame and nrec is not None and nrec["buf"] == buf:
+                if self._claims is not None:
+                    b = nrec["boundaries"]
+                    self._claims[buf, :, 0] = b[:-1]
+                    self._claims[buf, :, 1] = b[1:]
+                break
+        if self._release[buf] < frame:
+            self._release[buf] = frame
+        self._last_complete_t = time.monotonic()
 
     # -- observability -------------------------------------------------------
 
@@ -1523,6 +2017,11 @@ class MPRenderPool:
             "stealing": self._steal_active,
             "steal_chunk": self.steal_chunk,
             "frames": len(self.timelines),
+            "backend": "mp",
+            "doorbell": self.config.doorbell,
+            "batch_frames": int(
+                self.metrics.counter("pool/batch_frames").value
+            ),
         }
         meta.update(self.fault_counters())
         if metadata:
@@ -1554,8 +2053,19 @@ class MPRenderPool:
         stop = getattr(self, "_stop", None)
         if stop is not None:
             stop.set()
-        # Wake the supervisor out of its blocking queue get, then wait
-        # for it — after this no thread touches the pool's state.
+        # Unstick any worker spinning on a buffer-release gate so it can
+        # drain its queue through to the shutdown sentinel.
+        release = getattr(self, "_release", None)
+        if release is not None:
+            release[:] = np.iinfo(np.int64).max // 2
+        # Wake the supervisor out of its blocking bell/queue wait, then
+        # wait for it — after this no thread touches the pool's state.
+        bell = getattr(self, "_bell", None)
+        if bell is not None:
+            try:
+                bell.set()
+            except Exception:  # noqa: BLE001 - teardown must not raise
+                pass
         dq = getattr(self, "_done_queue", None)
         if dq is not None:
             try:
@@ -1586,7 +2096,7 @@ class MPRenderPool:
                     w.join()
             except Exception:  # noqa: BLE001 - teardown must not raise
                 pass
-        for name in ("_shm_i", "_shm_f", "_shm_c", "_shm_t"):
+        for name in ("_shm_i", "_shm_f", "_shm_c", "_shm_t", "_shm_d"):
             shm = getattr(self, name, None)
             if shm is None:
                 continue

@@ -89,7 +89,10 @@ class SliceCache:
         if entry is None:
             self.misses += 1
             return None
-        self._planes.move_to_end(k)
+        try:
+            self._planes.move_to_end(k)
+        except KeyError:
+            pass  # evicted by a sibling thread — the planes stay valid
         self.hits += 1
         return entry
 
@@ -97,7 +100,13 @@ class SliceCache:
         self._planes[k] = planes
         self._planes.move_to_end(k)
         while len(self._planes) > self.capacity:
-            self._planes.popitem(last=False)
+            try:
+                self._planes.popitem(last=False)
+            except KeyError:
+                break  # drained by a concurrent eviction
+        # Individual dict operations are GIL-atomic, so concurrent use by
+        # the threading backend at worst double-decodes a plane or briefly
+        # overshoots capacity — never corrupts an entry.
 
     def clear(self) -> None:
         """Drop every cached plane (hit/miss statistics are kept)."""

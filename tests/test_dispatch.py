@@ -1,0 +1,188 @@
+"""Batched submission, pipelining and the shm doorbell (MP backend).
+
+Every dispatch protocol must produce bit-identical images and work
+counters to the serial reference and to the classic per-frame pool —
+the partitions and the pixels may never depend on *how* frames reach
+the workers.  Plus the fault half: a worker killed mid-batch must be
+recovered with only the unfinished frames re-dispatched.
+"""
+
+import numpy as np
+import pytest
+
+import repro.parallel.mp_backend as mpb
+from repro.datasets import mri_brain
+from repro.parallel.mp_backend import MPRenderPool, PoolConfig
+from repro.render import ShearWarpRenderer
+from repro.render.fast import render_fast
+from repro.volume import mri_transfer_function
+
+
+@pytest.fixture(scope="module")
+def renderer():
+    return ShearWarpRenderer(mri_brain((20, 20, 16)), mri_transfer_function())
+
+
+def _views(renderer, n=5):
+    return [renderer.view_from_angles(20, 30 + 4 * i, 2 * i) for i in range(n)]
+
+
+def _assert_identical(res, refs):
+    assert len(res) == len(refs)
+    for ref, got in zip(refs, res):
+        assert np.array_equal(got.final.color, ref.final.color)
+        assert np.array_equal(got.final.alpha, ref.final.alpha)
+        assert np.array_equal(got.intermediate.color, ref.intermediate.color)
+        assert np.array_equal(got.intermediate.opacity, ref.intermediate.opacity)
+
+
+class TestBatchedBitIdentity:
+    @pytest.mark.parametrize("kernel", ["block", "scanline"])
+    @pytest.mark.parametrize("stealing", [True, False])
+    def test_batched_matches_serial(self, renderer, kernel, stealing):
+        """submit_batch == serial, both kernels, stealing on/off,
+        profile feedback loop on."""
+        views = _views(renderer)
+        refs = [render_fast(renderer, v) for v in views]
+        cfg = PoolConfig(n_procs=2, kernel=kernel, stealing=stealing,
+                         profile_period=2)
+        with MPRenderPool(renderer, config=cfg) as pool:
+            res = pool.render_animation(views)
+        _assert_identical(res, refs)
+
+    def test_batched_matches_perframe_protocol(self, renderer):
+        """One batch message == per-frame submits == doorbell-off pool."""
+        views = _views(renderer)
+        cfg = PoolConfig(n_procs=2, profile_period=2)
+        with MPRenderPool(renderer, config=cfg) as pool:
+            batched = [pool.result(f) for f in pool.submit_batch(views)]
+        with MPRenderPool(renderer, config=cfg.replace(pipeline=False)) as pool:
+            handles = [pool.submit(v) for v in views]
+            perframe = [pool.result(h) for h in handles]
+        with MPRenderPool(renderer, config=cfg.replace(doorbell=False,
+                                                       pipeline=False)) as pool:
+            handles = [pool.submit(v) for v in views]
+            legacy = [pool.result(h) for h in handles]
+        # Pixels must agree exactly.  Partition *boundaries* may not:
+        # the profile feedback loop calibrates per-row costs with
+        # measured CPU time, so band splits after a profiled frame are
+        # run-dependent — which is precisely why the images themselves
+        # being identical is the invariant worth asserting.
+        _assert_identical(batched, perframe)
+        _assert_identical(batched, legacy)
+
+    def test_doorbell_off_batched(self, renderer):
+        """Batching works with the legacy done-queue completion too."""
+        views = _views(renderer, 4)
+        refs = [render_fast(renderer, v) for v in views]
+        cfg = PoolConfig(n_procs=2, doorbell=False)
+        with MPRenderPool(renderer, config=cfg) as pool:
+            res = pool.render_animation(views)
+        _assert_identical(res, refs)
+
+    def test_batch_deeper_than_buffers(self, renderer):
+        """A batch far deeper than the buffer ring streams correctly
+        (release-cursor gating + deferred claim seeding)."""
+        views = _views(renderer, 8)
+        refs = [render_fast(renderer, v) for v in views]
+        cfg = PoolConfig(n_procs=2, buffers=2, profile_period=3)
+        with MPRenderPool(renderer, config=cfg) as pool:
+            res = pool.render_animation(views)
+        _assert_identical(res, refs)
+
+    def test_batch_frames_counter_and_metadata(self, renderer, tmp_path):
+        views = _views(renderer, 4)
+        cfg = PoolConfig(n_procs=2, trace=True)
+        with MPRenderPool(renderer, config=cfg) as pool:
+            pool.render_animation(views)
+            assert pool.metrics.counter("pool/batch_frames").value == 4
+            path = tmp_path / "trace.json"
+            pool.export_chrome_trace(str(path))
+        import json
+
+        meta = json.loads(path.read_text())["otherData"]
+        assert meta["batch_frames"] == 4
+        assert meta["backend"] == "mp"
+        assert meta["doorbell"] is True
+
+    def test_empty_batch(self, renderer):
+        with MPRenderPool(renderer, config=PoolConfig(n_procs=2)) as pool:
+            assert pool.submit_batch([]) == []
+            assert pool.render_animation([]) == []
+
+    def test_pipeline_off_render_animation(self, renderer):
+        views = _views(renderer, 3)
+        refs = [render_fast(renderer, v) for v in views]
+        cfg = PoolConfig(n_procs=2, pipeline=False)
+        with MPRenderPool(renderer, config=cfg) as pool:
+            res = pool.render_animation(views)
+            assert pool.metrics.counter("pool/batch_frames").value == 0
+        _assert_identical(res, refs)
+
+
+class TestMidBatchFaults:
+    def test_kill_mid_batch_redispatches_only_unfinished(self, renderer,
+                                                         monkeypatch):
+        """Worker 0 is SIGKILLed compositing frame 2 of a 6-frame batch.
+
+        The already-collected frames (0 and 1 — both workers pass frame
+        1's barrier before either can enter frame 2, and the supervisor
+        absorbs completed doorbell cells before it checks sentinels)
+        must not be re-rendered; the unfinished tail is re-dispatched
+        once and everything comes back bit-identical.
+        """
+        monkeypatch.setattr(mpb, "_TEST_FAULT", (0, 2, "kill", "composite"))
+        views = _views(renderer, 6)
+        refs = [render_fast(renderer, v) for v in views]
+        cfg = PoolConfig(n_procs=2, buffers=2, max_retries=2,
+                         degrade_to_serial=False)
+        with MPRenderPool(renderer, config=cfg) as pool:
+            res = pool.render_animation(views)
+            fc = pool.fault_counters()
+        _assert_identical(res, refs)
+        assert fc["worker_restarts"] >= 2  # the whole set is respawned
+        assert fc["degraded_frames"] == 0
+        # Only the unfinished frames (2..5) were retried — frames 0 and
+        # 1 were already materialized when recovery ran.
+        assert fc["frames_retried"] == 4
+        assert res[0].retries == 0 and res[1].retries == 0
+        assert all(r.retries == 1 for r in res[2:])
+
+    def test_raise_mid_batch_recovers_bit_identical(self, renderer,
+                                                    monkeypatch):
+        """A worker exception mid-batch escalates to pool recovery (the
+        retry may not queue behind the rest of the batch) and still
+        produces identical frames."""
+        monkeypatch.setattr(mpb, "_TEST_FAULT", (1, 1, "raise", "composite"))
+        views = _views(renderer, 5)
+        refs = [render_fast(renderer, v) for v in views]
+        cfg = PoolConfig(n_procs=2, max_retries=2, degrade_to_serial=False)
+        with MPRenderPool(renderer, config=cfg) as pool:
+            res = pool.render_animation(views)
+            fc = pool.fault_counters()
+        _assert_identical(res, refs)
+        assert fc["frames_retried"] >= 1
+        assert res[0].retries == 0
+
+
+class TestDispatchObservability:
+    def test_dispatch_and_doorbell_spans_recorded(self, renderer):
+        views = _views(renderer, 4)
+        cfg = PoolConfig(n_procs=2, trace=True, buffers=2)
+        with MPRenderPool(renderer, config=cfg) as pool:
+            pool.render_animation(views)
+            phases = set()
+            for tl in pool.timelines:
+                phases.update(s.phase for s in tl.spans)
+        assert "dispatch" in phases
+        # doorbell spans appear only when a worker actually outruns the
+        # parent's collection; don't require them, but the phase must be
+        # recordable (PHASES registration) — exercised by _await_release
+        # whenever the gate blocks.
+
+    def test_pipeline_overlap_metric(self, renderer):
+        views = _views(renderer, 6)
+        with MPRenderPool(renderer, config=PoolConfig(n_procs=2)) as pool:
+            pool.render_animation(views)
+            overlap = pool.metrics.counter("pool/pipeline_overlap_s").value
+        assert overlap >= 0.0  # > 0 whenever collection overlapped work

@@ -187,10 +187,13 @@ class TestMPTracing:
             snap = pool.metrics.snapshot()
         trace = load_chrome_trace(str(path))
         assert validate_chrome_trace(trace) == []
-        # One named thread track per worker.
+        # One named thread track per worker, plus the supervisor's
+        # track (n_procs) carrying the parent-side dispatch spans.
         tracks = {e["tid"] for e in trace["traceEvents"]
                   if e["ph"] == "M" and e["name"] == "thread_name"}
-        assert tracks == {0, 1}
+        assert tracks == {0, 1, 2}
+        assert any(e["ph"] == "X" and e["name"] == "dispatch"
+                   for e in trace["traceEvents"])
         # Both workers recorded composite and warp spans on every frame.
         for tl in results:
             busy = tl.timeline.busy_by_pid()
