@@ -52,15 +52,27 @@ def host_cpu_info() -> dict:
     ``os.cpu_count()`` is the machine's CPU count, but containers and
     batch schedulers routinely pin the process to a subset — speedup
     claims are only interpretable against the *affinity* count, so both
-    are recorded (``sched_getaffinity`` is Linux-only; elsewhere the
-    affinity count falls back to ``cpu_count``).
+    are recorded.  ``sched_getaffinity`` is Linux-only (absent on
+    macOS/Windows) and can fail even where present (NotImplementedError
+    on exotic platforms, OSError in restricted sandboxes), so every
+    failure mode falls back to ``cpu_count`` instead of crashing the
+    benchmark report.  ``multi_core_host`` is the honesty flag the
+    reports key speedup claims on: parallel-beats-serial headlines are
+    only meaningful when it is true.
     """
-    cpus = os.cpu_count()
-    try:
-        affinity = len(os.sched_getaffinity(0))
-    except AttributeError:
-        affinity = cpus
-    return {"host_cpus": cpus, "host_cpus_available": affinity}
+    cpus = os.cpu_count() or 1
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    affinity = cpus
+    if getaffinity is not None:
+        try:
+            affinity = len(getaffinity(0)) or cpus
+        except (OSError, NotImplementedError):
+            pass
+    return {
+        "host_cpus": cpus,
+        "host_cpus_available": affinity,
+        "multi_core_host": affinity > 1,
+    }
 
 
 def save_result(name: str, text: str) -> None:

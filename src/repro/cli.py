@@ -36,6 +36,21 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_render(args: argparse.Namespace) -> int:
+    from .parallel.mp_backend import MPPoolError
+
+    try:
+        return _run_render(args)
+    except MPPoolError as exc:
+        # Typed pool failures (FrameFailed, FrameTimeout, WorkerDied,
+        # ServerBusy, ...) exit non-zero with the error *name* — the
+        # contract scripts and the serve layer's operators key on.  The
+        # pool context managers have already torn down and unlinked
+        # every shm segment by the time the error propagates here.
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+
+
+def _run_render(args: argparse.Namespace) -> int:
     import time
 
     from .analysis.harness import get_renderer
@@ -157,10 +172,64 @@ def _cmd_render(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_metrics_snapshot(path: str, snap: dict) -> int:
+    """Render a ``repro serve --metrics-out`` snapshot (serve + pool
+    counters).  Counters print as ``name=value`` so scripts and CI can
+    grep e.g. ``serve/coalesced=[1-9]`` the same way they grep
+    ``pool/batch_frames=`` off trace summaries."""
+    cfg = snap.get("config") or {}
+    desc = ", ".join(f"{k}={v}" for k, v in sorted(cfg.items()))
+    kind = snap.get("kind", "metrics")
+    print(f"{path}: {kind} snapshot" + (f" ({desc})" if desc else ""))
+    histograms = snap.get("histograms") or {}
+    if histograms:
+        rows = [
+            (name, s["count"], s["total"] * 1e3, s["mean"] * 1e3,
+             s["p50"] * 1e3, s["p90"] * 1e3, s["max"] * 1e3)
+            for name, s in sorted(histograms.items())
+        ]
+        name_w = max(len("histogram"),
+                     *(len(name) for name in histograms)) + 2
+        print("\nhistograms (ms):")
+        header = "histogram".ljust(name_w) + "".join(
+            h.rjust(10) for h in ("count", "total", "mean", "p50", "p90", "max")
+        )
+        print(header)
+        print("-" * len(header))
+        for name, count, total, mean, p50, p90, mx in rows:
+            print(name.ljust(name_w)
+                  + f"{count:10d}" + "".join(
+                      f"{v:10.2f}" for v in (total, mean, p50, p90, mx)))
+    counters = snap.get("counters") or {}
+    if counters:
+        print("\ncounters:")
+        for name, value in sorted(counters.items()):
+            print(f"{name}={value:g}")
+    gauges = snap.get("gauges") or {}
+    if gauges:
+        print("\ngauges:")
+        for name, g in sorted(gauges.items()):
+            print(f"{name}: last {g['value']:g}, max {g['max']:g}")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
     from .analysis.breakdown import format_table
     from .obs import (busy_spread, load_chrome_trace, summarize_trace,
                       validate_chrome_trace)
+
+    # Two file kinds share this command: Chrome traces from render
+    # --trace-out, and metrics snapshots from `repro serve
+    # --metrics-out` / the protocol's stats op (serve counters live
+    # there — a service has no single trace).
+    with open(args.trace) as f:
+        payload = json.load(f)
+    if "traceEvents" not in payload and (
+        "counters" in payload or "histograms" in payload
+    ):
+        return _print_metrics_snapshot(args.trace, payload)
 
     trace = load_chrome_trace(args.trace)
     problems = validate_chrome_trace(trace)
@@ -194,25 +263,65 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     phases = summary["phases"]
     n_frames = max(1, len(frames))
     comp_s = phases.get("composite", {}).get("total_s", 0.0)
-    over_s = sum(
-        phases.get(p, {}).get("total_s", 0.0)
-        for p in ("wait", "barrier", "doorbell", "dispatch")
-    )
-    # The dispatch tax the batching/doorbell work attacks: time spent
-    # waiting on queues/barriers/buffer-release gates plus parent-side
-    # dispatch, against actual compositing time.
-    ratio = (f"{over_s / comp_s:.2f}x composite" if comp_s > 0
-             else "no composite spans")
-    print(f"\ndispatch overhead (wait+barrier+doorbell+dispatch): "
-          f"{over_s / n_frames * 1e3:.2f} ms vs composite "
-          f"{comp_s / n_frames * 1e3:.2f} ms per frame ({ratio}; "
-          f"pool/batch_frames={meta.get('batch_frames', 0)})")
+    over_phases = [p for p in ("wait", "barrier", "doorbell", "dispatch")
+                   if p in phases]
+    if not over_phases:
+        # Serial traces and doorbell=off runs record no dispatch-side
+        # spans at all — the split below would be 0-vs-0 noise.
+        print("\ndispatch overhead: n/a (no wait/barrier/doorbell/dispatch "
+              "spans in this trace)")
+    else:
+        over_s = sum(phases[p]["total_s"] for p in over_phases)
+        # The dispatch tax the batching/doorbell work attacks: time spent
+        # waiting on queues/barriers/buffer-release gates plus parent-side
+        # dispatch, against actual compositing time.
+        ratio = (f"{over_s / comp_s:.2f}x composite" if comp_s > 0
+                 else "no composite spans")
+        print(f"\ndispatch overhead (wait+barrier+doorbell+dispatch): "
+              f"{over_s / n_frames * 1e3:.2f} ms vs composite "
+              f"{comp_s / n_frames * 1e3:.2f} ms per frame ({ratio}; "
+              f"pool/batch_frames={meta.get('batch_frames', 0)})")
     if frames:
         spreads = [busy_spread(list(busy.values()))
                    for busy in frames.values() if busy]
         mean_spread = sum(spreads) / len(spreads) if spreads else 0.0
         print(f"\nload imbalance (busy-spread, (max-min)/mean over workers): "
               f"mean {mean_spread:.3f} over {len(frames)} frame(s)")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .parallel.mp_backend import PoolConfig
+    from .serve import ServeConfig, run_server
+
+    cfg = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        cache_frames=args.cache_frames,
+        default_dataset=args.dataset,
+        default_scale=args.scale,
+        pool=PoolConfig(n_procs=max(1, args.procs), backend=args.backend,
+                        kernel=args.kernel, profile_period=0),
+    )
+
+    def ready(address: tuple[str, int]) -> None:
+        host, port = address
+        # One parseable line scripts can wait on before connecting.
+        print(f"repro serve listening on {host}:{port} "
+              f"(procs={cfg.pool.n_procs}, backend={cfg.pool.backend}, "
+              f"max_inflight={cfg.max_inflight}, "
+              f"cache_frames={cfg.cache_frames})", flush=True)
+
+    try:
+        asyncio.run(run_server(cfg, metrics_out=args.metrics_out, ready=ready))
+    except KeyboardInterrupt:
+        return 130
+    if args.metrics_out:
+        print(f"wrote metrics snapshot to {args.metrics_out} "
+              "(summarize with `repro stats`)")
     return 0
 
 
@@ -294,9 +403,36 @@ def main(argv: list[str] | None = None) -> int:
                    help="write a Chrome trace-event JSON of per-worker phase "
                         "spans (open in Perfetto or chrome://tracing)")
 
-    p = sub.add_parser("stats", help="summarize a trace written by "
-                                     "render --trace-out")
-    p.add_argument("trace", help="path to a Chrome trace-event JSON file")
+    p = sub.add_parser("stats", help="summarize a trace written by render "
+                                     "--trace-out or a metrics snapshot "
+                                     "written by serve --metrics-out")
+    p.add_argument("trace", help="path to a Chrome trace-event JSON file "
+                                 "or a repro-metrics snapshot JSON file")
+
+    p = sub.add_parser("serve", help="serve renders to concurrent clients "
+                                     "over a length-prefixed JSON/TCP "
+                                     "protocol (asyncio front end over the "
+                                     "worker pools)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="0 picks an ephemeral port (printed on start)")
+    p.add_argument("--dataset", default="mri128",
+                   help="default data set for requests that omit one")
+    p.add_argument("--scale", type=float, default=0.12,
+                   help="default proxy scale for requests that omit one")
+    p.add_argument("--procs", type=int, default=2,
+                   help="worker count of each render pool")
+    p.add_argument("--backend", choices=["mp", "thread"], default="mp")
+    p.add_argument("--kernel", default="block", choices=["scanline", "block"],
+                   help="default compositing kernel")
+    p.add_argument("--max-inflight", type=int, default=8,
+                   help="admission bound: render jobs in flight beyond "
+                        "this are rejected with ServerBusy")
+    p.add_argument("--cache-frames", type=int, default=256,
+                   help="whole-frame LRU capacity (frames)")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write a metrics snapshot JSON on shutdown "
+                        "(summarize with `repro stats PATH`)")
 
     p = sub.add_parser("speedup", help="old-vs-new speedup curve on one machine")
     p.add_argument("--dataset", default="mri512")
@@ -307,7 +443,7 @@ def main(argv: list[str] | None = None) -> int:
 
     args = parser.parse_args(argv)
     return {"info": _cmd_info, "render": _cmd_render, "stats": _cmd_stats,
-            "speedup": _cmd_speedup}[args.command](args)
+            "serve": _cmd_serve, "speedup": _cmd_speedup}[args.command](args)
 
 
 if __name__ == "__main__":

@@ -1479,14 +1479,18 @@ class MPRenderPool:
         Never blocks forever: the supervisor completes, retries,
         degrades or fails every in-flight frame.  Raises the frame's
         *own* typed error (:class:`FrameFailed`, :class:`FrameTimeout`,
-        :class:`WorkerDied`) exactly once; :class:`PoolClosed` if the
-        pool is closed while the frame is still in flight;
-        :class:`PoolUnrecoverable` if the pool itself broke.
+        :class:`WorkerDied`) — idempotently: calling ``result()`` again
+        on a failed frame re-raises the *same* error (the serve layer
+        retries and reports per client, so a failure must stay
+        observable, not decay into ``KeyError``).  Raises
+        :class:`PoolClosed` if the pool is closed while the frame is
+        still in flight; :class:`PoolUnrecoverable` if the pool itself
+        broke.
         """
         with self._cond:
             while True:
                 if frame in self._failed:
-                    raise self._failed.pop(frame)
+                    raise self._failed[frame]
                 if frame in self._results:
                     return self._results.pop(frame)
                 if frame not in self._inflight:

@@ -224,11 +224,12 @@ class ThreadRenderPool:
     def result(self, frame: int) -> MPRenderResult:
         """Wait for ``frame`` and return its images (no copies — the
         per-frame images are handed over, not extracted from a shared
-        buffer)."""
+        buffer).  A failed frame's typed error re-raises on every call
+        (idempotent, matching :meth:`MPRenderPool.result`)."""
         with self._cond:
             while True:
                 if frame in self._failed:
-                    raise self._failed.pop(frame)
+                    raise self._failed[frame]
                 if frame in self._results:
                     return self._results.pop(frame)
                 if frame not in self._inflight:

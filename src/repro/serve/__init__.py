@@ -1,0 +1,31 @@
+"""repro.serve — async render-as-a-service front end over the pools.
+
+The "millions of users" rung of the roadmap made concrete: an asyncio
+server (:class:`RenderServer`) that owns persistent render pools and
+serves many concurrent clients with admission control
+(:class:`ServerBusy` backpressure), request coalescing and a
+content-addressed whole-frame LRU (:class:`FrameCache`).  See
+:mod:`repro.serve.server` for the protocol and the architecture.
+"""
+
+from .admission import AdmissionController, ServerBusy
+from .cache import DEFAULT_FRAME_CACHE_CAPACITY, CachedFrame, FrameCache
+from .client import RenderClient, request_once, response_frames
+from .protocol import canonical_identity, request_key
+from .server import RenderServer, ServeConfig, run_server
+
+__all__ = [
+    "AdmissionController",
+    "ServerBusy",
+    "CachedFrame",
+    "FrameCache",
+    "DEFAULT_FRAME_CACHE_CAPACITY",
+    "RenderClient",
+    "request_once",
+    "response_frames",
+    "canonical_identity",
+    "request_key",
+    "RenderServer",
+    "ServeConfig",
+    "run_server",
+]

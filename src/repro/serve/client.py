@@ -1,0 +1,80 @@
+"""Clients for the render service: an asyncio client and a blocking
+one-shot helper.
+
+:class:`RenderClient` is what the load-generator benchmark and the
+tests drive (one connection, many requests); :func:`request_once` is
+the blocking convenience the CI smoke and shell one-liners use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+import numpy as np
+
+from .protocol import decode_plane, pack_message, read_message, read_message_sync
+
+__all__ = ["RenderClient", "request_once", "response_frames"]
+
+
+def response_frames(resp: dict) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Decode a render/animate response's frames to ``(color, alpha)``."""
+    return [
+        (decode_plane(f["color"]), decode_plane(f["alpha"]))
+        for f in resp.get("frames", [])
+    ]
+
+
+class RenderClient:
+    """One connection to a :class:`~repro.serve.server.RenderServer`.
+
+    Usage::
+
+        client = await RenderClient.connect(host, port)
+        resp = await client.request({"op": "render", "ry": 30.0})
+        (color, alpha), = response_frames(resp)
+        await client.close()
+
+    Requests on one client are serialized (the protocol is strict
+    request/response per connection); concurrency comes from opening
+    one client per logical user, as the benchmark does.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._lock = asyncio.Lock()
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "RenderClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(self, payload: dict) -> dict:
+        async with self._lock:
+            self._writer.write(pack_message(payload))
+            await self._writer.drain()
+            resp = await read_message(self._reader)
+        if resp is None:
+            raise ConnectionError("server closed the connection")
+        return resp
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+def request_once(host: str, port: int, payload: dict,
+                 timeout: float = 30.0) -> dict:
+    """Blocking one-shot: connect, send one request, return the response."""
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(pack_message(payload))
+        resp = read_message_sync(sock)
+    if resp is None:
+        raise ConnectionError("server closed the connection")
+    return resp

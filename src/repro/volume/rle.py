@@ -23,6 +23,7 @@ which bytes a compositing task touches, without re-walking the runs.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -69,9 +70,16 @@ class SliceCache:
     column on each side) because that is the form both vectorized kernels
     consume; the unpadded view is sliced out on demand.  Cached planes
     are read-only so a stray consumer cannot corrupt the shared state.
+
+    Thread-safety: the threading backend's workers share one cache per
+    encoding.  Entry lookups and recency updates were always safe under
+    the GIL, but the ``hits``/``misses`` tallies are read-modify-write
+    and lost updates under contention — they feed the ``cache_hits`` /
+    ``cache_misses`` frame counters, so every operation now runs under
+    one lock (the decode a miss triggers dwarfs the lock cost).
     """
 
-    __slots__ = ("capacity", "hits", "misses", "_planes")
+    __slots__ = ("capacity", "hits", "misses", "_planes", "_lock")
 
     def __init__(self, capacity: int = DEFAULT_SLICE_CACHE_CAPACITY) -> None:
         if capacity < 1:
@@ -80,37 +88,38 @@ class SliceCache:
         self.hits = 0
         self.misses = 0
         self._planes: OrderedDict[int, tuple[np.ndarray, np.ndarray]] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __reduce__(self):
+        # Locks don't pickle and cached planes are pure derived state:
+        # an unpickled encoding starts with an empty cache of the same
+        # capacity (mirrors the lazy rebuild in RLEVolume.slice_cache).
+        return (SliceCache, (self.capacity,))
 
     def __len__(self) -> int:
         return len(self._planes)
 
     def get(self, k: int) -> tuple[np.ndarray, np.ndarray] | None:
-        entry = self._planes.get(k)
-        if entry is None:
-            self.misses += 1
-            return None
-        try:
+        with self._lock:
+            entry = self._planes.get(k)
+            if entry is None:
+                self.misses += 1
+                return None
             self._planes.move_to_end(k)
-        except KeyError:
-            pass  # evicted by a sibling thread — the planes stay valid
-        self.hits += 1
-        return entry
+            self.hits += 1
+            return entry
 
     def put(self, k: int, planes: tuple[np.ndarray, np.ndarray]) -> None:
-        self._planes[k] = planes
-        self._planes.move_to_end(k)
-        while len(self._planes) > self.capacity:
-            try:
+        with self._lock:
+            self._planes[k] = planes
+            self._planes.move_to_end(k)
+            while len(self._planes) > self.capacity:
                 self._planes.popitem(last=False)
-            except KeyError:
-                break  # drained by a concurrent eviction
-        # Individual dict operations are GIL-atomic, so concurrent use by
-        # the threading backend at worst double-decodes a plane or briefly
-        # overshoots capacity — never corrupts an entry.
 
     def clear(self) -> None:
         """Drop every cached plane (hit/miss statistics are kept)."""
-        self._planes.clear()
+        with self._lock:
+            self._planes.clear()
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,46 @@
+"""Tests for the shared benchmark infrastructure (``benchmarks/common.py``).
+
+The benchmarks directory is not a package; ``common`` is loaded by file
+path the same way the figure scripts find it at run time.
+"""
+
+import importlib.util
+import os
+
+import pytest
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture(scope="module")
+def common():
+    spec = importlib.util.spec_from_file_location(
+        "bench_common", os.path.join(ROOT, "benchmarks", "common.py")
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestHostCPUInfo:
+    def test_reports_consistent_counts(self, common):
+        info = common.host_cpu_info()
+        assert info["host_cpus"] >= 1
+        assert info["host_cpus_available"] >= 1
+        assert info["multi_core_host"] == (info["host_cpus_available"] > 1)
+
+    def test_survives_missing_sched_getaffinity(self, common, monkeypatch):
+        """macOS/Windows have no ``os.sched_getaffinity`` — the report
+        must fall back to ``cpu_count`` instead of crashing."""
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        info = common.host_cpu_info()
+        assert info["host_cpus_available"] == info["host_cpus"]
+
+    def test_survives_failing_sched_getaffinity(self, common, monkeypatch):
+        """Restricted sandboxes raise OSError from the call itself."""
+        def boom(pid):
+            raise OSError("not permitted")
+
+        monkeypatch.setattr(os, "sched_getaffinity", boom, raising=False)
+        info = common.host_cpu_info()
+        assert info["host_cpus_available"] == info["host_cpus"]

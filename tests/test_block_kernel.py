@@ -250,6 +250,37 @@ class TestSliceCache:
         # Re-prime for other tests (module-scoped fixture).
         mri_renderer.rle_for(fact_z)
 
+    def test_counters_exact_under_thread_hammer(self):
+        """Regression: ``hits``/``misses`` are read-modify-write and
+        lost updates when the threading backend's workers shared one
+        cache without a lock.  Keys 0..3 fit capacity 4, so key 0 is
+        never evicted — every ``get(0)`` is a hit and every ``get(99)``
+        a miss, making the expected tallies exact."""
+        import threading
+
+        cache = SliceCache(capacity=4)
+        plane = (np.zeros(1), np.zeros(1))
+        cache.put(0, plane)
+        n_threads, n_iter = 8, 1500
+        barrier = threading.Barrier(n_threads)
+
+        def hammer(tid):
+            barrier.wait()  # maximize interleaving
+            for i in range(n_iter):
+                cache.get(0)
+                cache.get(99)
+                cache.put(1 + (tid + i) % 3, plane)
+
+        threads = [threading.Thread(target=hammer, args=(t,))
+                   for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert cache.hits == n_threads * n_iter
+        assert cache.misses == n_threads * n_iter
+        assert len(cache) <= 4
+
     def test_cache_survives_unpickling(self):
         import pickle
 

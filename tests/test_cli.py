@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -40,3 +42,60 @@ class TestCLI:
     def test_rejects_unknown_machine(self):
         with pytest.raises(SystemExit):
             main(["speedup", "--machine", "cray"])
+
+
+class TestCLIErrorPaths:
+    def test_animation_pool_failure_exits_typed_without_leaks(
+            self, monkeypatch, capsys):
+        """A mid-batch worker failure with recovery disabled must exit
+        non-zero with the typed error *name* on stderr — not a
+        traceback — and leave no shared-memory segment behind."""
+        import repro.parallel.mp_backend as mpb
+
+        # Worker 0 raises out of frame 1's compositing; retries and
+        # serial degradation are off, so the animation fails mid-batch.
+        monkeypatch.setattr(mpb, "_TEST_FAULT", (0, 1, "raise", "composite"))
+        shm_dir = "/dev/shm"
+        before = (set(os.listdir(shm_dir)) if os.path.isdir(shm_dir)
+                  else None)
+        rc = main(["render", "--dataset", "mri128", "--scale", "0.08",
+                   "--procs", "2", "--frames", "3", "--profile-period", "0",
+                   "--max-retries", "0", "--degrade", "off"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "error: FrameFailed" in err
+        assert "Traceback" not in err
+        if before is not None:  # pool teardown unlinked every segment
+            assert set(os.listdir(shm_dir)) - before == set()
+
+    def test_stats_on_metrics_snapshot(self, capsys, tmp_path):
+        """`repro stats` renders serve metrics snapshots (counters in
+        greppable name=value form), not just Chrome traces."""
+        import json
+
+        snap = {"kind": "repro-metrics",
+                "config": {"max_inflight": 4},
+                "histograms": {"serve/latency_s": {
+                    "count": 2, "total": 0.2, "mean": 0.1,
+                    "p50": 0.1, "p90": 0.19, "max": 0.19}},
+                "counters": {"serve/coalesced": 3, "serve/cache_hits": 5},
+                "gauges": {"serve/pools": {"value": 1, "max": 2}}}
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(snap))
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro-metrics snapshot" in out
+        assert "serve/coalesced=3" in out
+        assert "serve/cache_hits=5" in out
+        assert "serve/latency_s" in out
+
+    def test_stats_serial_trace_prints_na_overhead(self, capsys, tmp_path):
+        """A serial trace has no dispatch-side spans: the overhead line
+        must say n/a instead of doing 0-vs-0 arithmetic."""
+        trace = tmp_path / "trace.json"
+        rc = main(["render", "--dataset", "mri128", "--scale", "0.08",
+                   "--trace-out", str(trace)])
+        assert rc == 0
+        assert main(["stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "dispatch overhead: n/a" in out

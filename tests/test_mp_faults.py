@@ -160,8 +160,8 @@ class TestTypedErrors:
             frame = pool.submit(renderer.view_from_angles(20, 30, 0))
             with pytest.raises(WorkerDied):
                 pool.result(frame)
-            with pytest.raises(KeyError):
-                pool.result(frame)  # consumed, not sticky
+            with pytest.raises(WorkerDied):
+                pool.result(frame)  # sticky: same typed error on re-poll
             # The pool stays usable after the failure.
             view = renderer.view_from_angles(20, 33, 0)
             res = pool.render(view)
