@@ -48,7 +48,16 @@ _POOL_EXPORTS = (
     "PoolUnrecoverable",
 )
 
-__all__ = ["__version__", "open_pool", "render_frame", *_POOL_EXPORTS]
+#: Facade symbols re-exported (lazily) from :mod:`repro.shard`.
+_SHARD_EXPORTS = (
+    "ShardConfig",
+    "ShardedRenderService",
+)
+
+__all__ = [
+    "__version__", "open_pool", "render_frame", *_POOL_EXPORTS,
+    *_SHARD_EXPORTS,
+]
 
 
 def open_pool(renderer, config=None, **overrides):
@@ -62,13 +71,29 @@ def open_pool(renderer, config=None, **overrides):
     :class:`~repro.parallel.thread_backend.ThreadRenderPool` — both
     expose the same ``submit``/``submit_batch``/``render_animation``/
     ``result`` API and produce bit-identical images.
+
+    ``config.shards > 1`` (``open_pool(r, shards=4)``) opens a
+    :class:`~repro.shard.ShardedRenderService` instead — a fleet of
+    pools, one per contiguous scanline shard, merged sort-last into
+    bit-identical frames behind the same pool API.  A
+    :class:`~repro.shard.ShardConfig` may be passed as ``config`` for
+    heterogeneous fleets.
     """
     from .parallel.mp_backend import MPRenderPool, PoolConfig
+    from .shard import ShardConfig
 
+    if isinstance(config, ShardConfig):
+        from .shard import ShardedRenderService
+
+        return ShardedRenderService(renderer, config, **overrides)
     if config is None:
         config = PoolConfig(**overrides)
     elif overrides:
         config = config.replace(**overrides)
+    if config.shards > 1:
+        from .shard import ShardedRenderService
+
+        return ShardedRenderService(renderer, config)
     if config.backend == "thread":
         from .parallel.thread_backend import ThreadRenderPool
 
@@ -84,7 +109,15 @@ def render_frame(renderer, view, config=None, **overrides):
     to balance) and the mp pool runs with a single image buffer.
     """
     from .parallel.mp_backend import PoolConfig, render_parallel_mp
+    from .shard import ShardConfig
 
+    if (
+        isinstance(config, ShardConfig)
+        or (config is not None and config.shards > 1)
+        or overrides.get("shards", 1) > 1
+    ):
+        with open_pool(renderer, config, **overrides) as svc:
+            return svc.render(view)
     if config is None:
         config = PoolConfig(profile_period=0, **overrides)
     elif overrides:
@@ -101,4 +134,8 @@ def __getattr__(name: str):
         from . import parallel
 
         return getattr(parallel.mp_backend, name)
+    if name in _SHARD_EXPORTS:
+        from . import shard
+
+        return getattr(shard, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -78,17 +78,20 @@ def _run_render(args: argparse.Namespace) -> int:
         backend=args.backend,
         doorbell=args.doorbell == "on",
         pipeline=args.batch == "on",
+        shards=max(1, args.shards),
         **({} if args.max_retries is None else
            {"max_retries": args.max_retries}),
     )
     fault_counters = None
     t0 = time.perf_counter()
-    if frames > 1:
+    if frames > 1 or cfg.shards > 1:
         # Animation through a persistent pool: this is the path where
         # --profile-period matters (profiles measured on one frame
         # balance the partitions of the following frames).  --batch on
         # (the default) submits the whole animation as one batch per
-        # worker; --backend picks processes or threads.
+        # worker; --backend picks processes or threads; --shards > 1
+        # opens a sharded fleet of pools merged sort-last (the facade
+        # dispatches on cfg.shards — same pool API either way).
         from . import open_pool
 
         views = [renderer.view_from_angles(args.rx, args.ry + i * args.ry_step,
@@ -109,7 +112,9 @@ def _run_render(args: argparse.Namespace) -> int:
         dyn = (f"stealing chunk={args.steal_chunk} "
                f"({steals} steals, {steal_rows} rows)"
                if cfg.stealing and args.procs > 1 else "no stealing")
-        how = (f"{frames} frames, {max(1, args.procs)} procs, "
+        fleet = (f"{cfg.shards} shards x {max(1, args.procs)} procs"
+                 if cfg.shards > 1 else f"{max(1, args.procs)} procs")
+        how = (f"{frames} frames, {fleet}, "
                f"{args.backend} backend, {args.kernel} kernel, "
                f"{'batched' if cfg.pipeline else 'per-frame'}, {split}, {dyn}")
     elif args.procs > 1:
@@ -303,8 +308,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_frames=args.cache_frames,
         default_dataset=args.dataset,
         default_scale=args.scale,
+        idle_pool_s=args.idle_pool_s,
         pool=PoolConfig(n_procs=max(1, args.procs), backend=args.backend,
-                        kernel=args.kernel, profile_period=0),
+                        kernel=args.kernel, profile_period=0,
+                        shards=max(1, args.shards)),
     )
 
     def ready(address: tuple[str, int]) -> None:
@@ -398,6 +405,11 @@ def main(argv: list[str] | None = None) -> int:
                    help="mp backend: report frame completion through "
                         "shared-memory cells instead of pickled "
                         "done-queue messages")
+    p.add_argument("--shards", type=int, default=1, metavar="N",
+                   help="split the intermediate image into N contiguous "
+                        "scanline shards, each rendered by its own pool "
+                        "of --procs workers and merged sort-last "
+                        "(bit-identical to --shards 1)")
     p.add_argument("--out", default=None, help="save image arrays to .npz")
     p.add_argument("--trace-out", default=None, metavar="PATH",
                    help="write a Chrome trace-event JSON of per-worker phase "
@@ -430,6 +442,13 @@ def main(argv: list[str] | None = None) -> int:
                         "this are rejected with ServerBusy")
     p.add_argument("--cache-frames", type=int, default=256,
                    help="whole-frame LRU capacity (frames)")
+    p.add_argument("--shards", type=int, default=1, metavar="N",
+                   help="render through N-shard pool fleets instead of "
+                        "single pools (sort-last merged, bit-identical)")
+    p.add_argument("--idle-pool-s", type=float, default=None, metavar="S",
+                   help="evict (close + unlink) a render pool after S "
+                        "seconds with no renders; the next request for "
+                        "its dataset re-creates it (default: never)")
     p.add_argument("--metrics-out", default=None, metavar="PATH",
                    help="write a metrics snapshot JSON on shutdown "
                         "(summarize with `repro stats PATH`)")

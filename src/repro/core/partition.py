@@ -22,6 +22,7 @@ __all__ = [
     "interleaved_chunks",
     "round_robin_tiles",
     "contiguous_partition",
+    "nested_contiguous_partition",
     "uniform_contiguous_partition",
     "line_ownership",
     "partition_sizes",
@@ -77,8 +78,17 @@ def contiguous_partition(profile: np.ndarray, n_procs: int, v_lo: int = 0) -> np
     owns scanlines ``[boundaries[p], boundaries[p+1])`` (absolute
     scanline indices).  Boundaries are strictly increasing whenever
     enough scanlines exist, so no processor is starved.
+
+    ``profile`` may be any real dtype — integer op counts or
+    float32/float64 calibrated seconds; costs are accumulated in
+    float64, so fractional costs are honored exactly (no silent int
+    truncation) and the same split falls out whether a cost arrives as
+    ``3`` or ``3.0``.  NaN costs are rejected: one NaN poisons the
+    whole cumulative curve and would silently degenerate the split.
     """
     profile = np.asarray(profile, dtype=np.float64)
+    if np.isnan(profile).any():
+        raise ValueError("cost profile contains NaN")
     if n_procs < 1:
         raise ValueError("need at least one processor")
     n = len(profile)
@@ -117,6 +127,34 @@ def contiguous_partition(profile: np.ndarray, n_procs: int, v_lo: int = 0) -> np
         for p in range(n_procs - 1, 0, -1):
             bounds[p] = min(bounds[p], n - (n_procs - p))
     return bounds + v_lo
+
+
+def nested_contiguous_partition(
+    profile: np.ndarray, n_outer: int, n_inner: int, v_lo: int = 0
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Two-level split: shards first, then scanlines within each shard.
+
+    The shard service runs the section 4.3 construction one level up:
+    the same cost profile first splits the band into ``n_outer``
+    contiguous shards, then each shard's slice of the profile splits
+    into ``n_inner`` per-worker blocks.  Returns ``(outer, inner)``
+    where ``outer`` has length ``n_outer + 1`` and ``inner[s]`` has
+    length ``n_inner + 1`` with ``inner[s][0] == outer[s]`` and
+    ``inner[s][-1] == outer[s + 1]`` — together a cover of
+    ``[v_lo, v_lo + len(profile))`` in which every scanline lands in
+    exactly one (shard, block) cell.
+    """
+    profile = np.asarray(profile, dtype=np.float64)
+    outer = contiguous_partition(profile, n_outer, v_lo=v_lo)
+    inner = [
+        contiguous_partition(
+            profile[outer[s] - v_lo:outer[s + 1] - v_lo],
+            n_inner,
+            v_lo=int(outer[s]),
+        )
+        for s in range(n_outer)
+    ]
+    return outer, inner
 
 
 def uniform_contiguous_partition(v_lo: int, v_hi: int, n_procs: int) -> np.ndarray:

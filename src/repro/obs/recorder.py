@@ -50,10 +50,11 @@ __all__ = [
 #: track), ``dispatch`` the parent-side frame-submission work (plan +
 #: queue put, recorded on the supervisor track), ``doorbell`` a
 #: worker's wait for the parent to release its next image buffer in
-#: batched/pipelined mode.  New phases are appended last so existing
-#: phase ids stay stable.
+#: batched/pipelined mode, ``merge`` one sort-last merge-tree pass of
+#: the shard service (recorded on the service's own final track).  New
+#: phases are appended last so existing phase ids stay stable.
 PHASES = ("wait", "decode", "composite", "profile", "steal", "barrier", "warp",
-          "recover", "dispatch", "doorbell")
+          "recover", "dispatch", "doorbell", "merge")
 
 #: Counter names.  ``steals``/``steal_rows`` count successful chunk
 #: steals and the scanlines they moved — recorded by the MP pool's

@@ -158,6 +158,7 @@ from ..render.warp import (
 from ..transforms.factorization import PERMUTATIONS, ShearWarpFactorization
 
 __all__ = [
+    "FrameRegion",
     "MPRenderPool",
     "MPRenderResult",
     "PoolConfig",
@@ -297,6 +298,13 @@ class PoolConfig:
         animation as one batch (workers run frame-to-frame, parent
         collection overlaps worker compositing).  ``False`` falls back
         to per-frame submit/result pairs.
+    shards:
+        How many scanline shards to split the intermediate image into,
+        each rendered by its *own* pool instance and merged by the
+        sort-last tree of :class:`repro.shard.ShardedRenderService`.
+        Dispatched by the ``repro.open_pool`` facade (``shards > 1``
+        builds a shard fleet instead of a single pool); the pool
+        classes themselves ignore it, like ``backend``.
     """
 
     n_procs: int = 2
@@ -314,10 +322,13 @@ class PoolConfig:
     backend: str = "mp"
     doorbell: bool = True
     pipeline: bool = True
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.n_procs < 1:
             raise ValueError("need at least one worker")
+        if self.shards < 1:
+            raise ValueError("need at least one shard")
         if self.kernel not in COMPOSITE_KERNELS:
             raise ValueError(
                 f"kernel must be one of {COMPOSITE_KERNELS}, got {self.kernel!r}"
@@ -424,6 +435,41 @@ def _await_release(release, buf: int, frame: int, buffers: int, rec) -> None:
 # -- shared frame planning (both backends) ------------------------------------
 
 
+@dataclass(frozen=True)
+class FrameRegion:
+    """Restriction of one frame to a shard of the intermediate image.
+
+    A :class:`repro.shard.ShardedRenderService` splits the intermediate
+    scanlines into contiguous shards and hands each shard's pool one of
+    these per frame.  The region lives entirely in the parent's planning
+    step — nothing about it is pickled to the workers; it only clamps
+    the composite band and masks warp-row ownership, and the job tuples
+    carry the already-restricted plan.
+
+    Attributes
+    ----------
+    comp_lo / comp_hi:
+        The scanline band ``[comp_lo, comp_hi)`` this pool must
+        composite.  Besides its owned lines this includes the *ghost*
+        line below each owned line: a final pixel with source line
+        ``v0`` bilinearly samples lines ``v0`` and ``v0 + 1``, so the
+        compositing band overlaps one line into the next shard.
+    owned:
+        Boolean mask over all ``n_v`` intermediate scanlines: the lines
+        whose *warp output* this pool owns.  Lines outside the mask get
+        warp ownership ``-1`` (no worker warps them here), which is how
+        the shard service keeps final pixels disjoint across pools.
+    """
+
+    comp_lo: int
+    comp_hi: int
+    owned: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if self.comp_lo > self.comp_hi:
+            raise ValueError("comp_lo must be <= comp_hi")
+
+
 class FramePlanner:
     """Frame planning + the paper's profile feedback loop, backend-neutral.
 
@@ -453,8 +499,15 @@ class FramePlanner:
         self._last_boundaries: np.ndarray | None = None
         self._last_part_key: tuple[int, tuple[int, int, int]] | None = None
 
-    def plan(self, view: np.ndarray, inter_cap=None, final_cap=None) -> dict:
-        """Everything needed to dispatch one frame (deterministic)."""
+    def plan(self, view: np.ndarray, inter_cap=None, final_cap=None,
+             region: FrameRegion | None = None) -> dict:
+        """Everything needed to dispatch one frame (deterministic).
+
+        ``region`` (shard mode) clamps the composite band to the shard's
+        ``[comp_lo, comp_hi)`` and masks warp ownership to the shard's
+        owned lines; the rest of the plan — partitioning, profiling,
+        warp-row assignment — runs unchanged inside that restriction.
+        """
         fact = self.renderer.factorize_view(view)
         n_v, n_u = fact.intermediate_shape
         ny, nx = fact.final_shape
@@ -467,6 +520,9 @@ class FramePlanner:
             )
         rle = self.renderer.rle_for(fact)
         v_lo, v_hi = nonempty_scanline_bounds(rle, fact)
+        if region is not None:
+            v_lo = max(v_lo, int(region.comp_lo))
+            v_hi = max(v_lo, min(v_hi, int(region.comp_hi)))
         if self.profile is not None and self.profile_key != (fact.axis, fact.perm):
             self.profile = None
             self.metrics.counter("pool/profile_invalidations").inc()
@@ -489,6 +545,17 @@ class FramePlanner:
         self._last_boundaries = boundaries
         self._last_part_key = part_key
         owner = line_ownership(boundaries, n_v)
+        if region is not None:
+            owned = np.asarray(region.owned, dtype=bool)
+            if len(owned) != n_v:
+                raise ValueError(
+                    f"region.owned covers {len(owned)} lines, frame has {n_v}"
+                )
+            # Lines outside the shard get no warp owner here: the pid
+            # comparison in warp_scanline never matches -1, so final
+            # pixels sourced from them stay zero in this pool's buffer
+            # and are taken from the owning shard by the merge tree.
+            owner = np.where(owned, owner, -1)
         coeffs = warp_coeffs(fact)
         src_lines = final_pixel_source_lines((ny, nx), fact, coeffs=coeffs)
         rows_by_pid = warp_rows_by_pid(src_lines, owner, self.n_procs)
@@ -648,6 +715,17 @@ def _maybe_fault(fault, pid: int, frame: int, phase: str) -> None:
 # renderer state cannot leak into a later pool's fork snapshot.
 _G: dict = {}
 
+# Serializes the stage-_G / fork / clear-_G critical section across
+# pools.  ``_G`` is process-global, and with several pools alive each
+# pool's *supervisor thread* respawns workers after a fault: two
+# concurrent recoveries could interleave so one pool's workers fork
+# against the other pool's queues and barrier (a cross-pool wedge), or
+# against an already-cleared ``_G``.  Holding one lock across the whole
+# spawn also keeps the fork away from another pool's concurrent
+# multiprocessing-object creation (shared-heap and resource-tracker
+# locks must not be mid-operation in the fork snapshot).
+_SPAWN_LOCK = threading.Lock()
+
 
 @dataclass
 class MPRenderResult:
@@ -677,6 +755,11 @@ class MPRenderResult:
     #: True when retries ran out and the frame was rendered serially in
     #: the parent (bit-identical images; no per-worker observables).
     degraded: bool = False
+    #: Per-scanline calibrated costs on profiled frames (``None``
+    #: otherwise), starting at scanline ``costs_v_lo`` — the raw
+    #: material the shard service stitches its cross-shard profile from.
+    costs: np.ndarray | None = field(default=None, repr=False)
+    costs_v_lo: int = 0
 
     @property
     def busy_spread(self) -> float | None:
@@ -1219,6 +1302,10 @@ class MPRenderPool:
         rebuilding them is the only state-reset that needs no
         cooperation from the casualties.
         """
+        with _SPAWN_LOCK:
+            self._spawn_workers_locked(generation)
+
+    def _spawn_workers_locked(self, generation: int) -> None:
         ctx = mp.get_context("fork")
         self._job_queues = [ctx.SimpleQueue() for _ in range(self.n_procs)]
         self._done_queue = ctx.Queue()
@@ -1232,12 +1319,20 @@ class MPRenderPool:
         # not wake the supervisor into reading its half-written cells
         # (recovery zeroes the cells before the new set starts anyway).
         self._bell = ctx.Event()
+        # The barrier's state lives in a block of multiprocessing's
+        # process-global shared heap.  The parent must keep the object
+        # referenced while this generation's workers live: dropping it
+        # (``_G.clear()`` below) would free the block back to the heap,
+        # and the next ``ctx.Barrier`` — e.g. a second pool's — would
+        # reuse the same shared memory, aliasing both pools' barrier
+        # state and wedging their workers mid-frame.
+        self._barrier = ctx.Barrier(self.n_procs)
         _G.update(
             renderer=self.renderer,
             kernel=self.kernel,
             job_queues=self._job_queues,
             done_queue=self._done_queue,
-            barrier=ctx.Barrier(self.n_procs),
+            barrier=self._barrier,
             shm_i=self._shm_i,
             shm_f=self._shm_f,
             inter_cap=self.inter_cap,
@@ -1279,20 +1374,23 @@ class MPRenderPool:
 
     # -- frame lifecycle -----------------------------------------------------
 
-    def submit(self, view: np.ndarray) -> int:
+    def submit(self, view: np.ndarray,
+               region: FrameRegion | None = None) -> int:
         """Dispatch one frame to the workers; returns its frame id.
 
         Blocks only if every buffer is still occupied by an unfinished
         frame (with ``buffers=2`` that means two frames behind).  The
         partition is profile-balanced whenever a valid profile from an
-        earlier frame exists, uniform otherwise.  Raises
-        :class:`PoolClosed` / :class:`PoolUnrecoverable` on a pool that
-        can no longer accept work.
+        earlier frame exists, uniform otherwise.  ``region`` restricts
+        the frame to one shard's band (see :class:`FrameRegion`).
+        Raises :class:`PoolClosed` / :class:`PoolUnrecoverable` on a
+        pool that can no longer accept work.
         """
         with self._cond:
             self._raise_if_unusable()
             t_d0 = self._sup_rec.now() if self._sup_rec is not None else 0.0
-            plan = self._planner.plan(view, self.inter_cap, self.final_cap)
+            plan = self._planner.plan(view, self.inter_cap, self.final_cap,
+                                      region=region)
             self._sample_gauges_locked()
             # Everything fallible is done — only now wait for a buffer
             # and claim a frame id, so a failed submit leaves no
@@ -1309,7 +1407,7 @@ class MPRenderPool:
                 self._sup_rec.span(frame, "dispatch", t_d0, self._sup_rec.now())
             return frame
 
-    def submit_batch(self, views) -> list[int]:
+    def submit_batch(self, views, regions=None) -> list[int]:
         """Dispatch a whole animation in one queue round-trip per worker.
 
         Every frame is planned up front — the profile feedback loop
@@ -1332,6 +1430,8 @@ class MPRenderPool:
         so batched output stays bit-identical to per-frame submission.
         """
         views = list(views)
+        if regions is None:
+            regions = [None] * len(views)
         with self._cond:
             self._raise_if_unusable()
             if not views:
@@ -1339,8 +1439,9 @@ class MPRenderPool:
             t_d0 = self._sup_rec.now() if self._sup_rec is not None else 0.0
             frames: list[int] = []
             per_worker: list[list[tuple]] = [[] for _ in range(self.n_procs)]
-            for view in views:
-                plan = self._planner.plan(view, self.inter_cap, self.final_cap)
+            for view, region in zip(views, regions):
+                plan = self._planner.plan(view, self.inter_cap, self.final_cap,
+                                          region=region)
                 frame = self._claim_frame_locked(plan, batched=True)
                 jobs = self._prepare_dispatch_locked(frame)
                 for pid in range(self.n_procs):
@@ -1355,17 +1456,21 @@ class MPRenderPool:
                                    self._sup_rec.now())
             return frames
 
-    def render_animation(self, views) -> list[MPRenderResult]:
+    def render_animation(self, views, regions=None) -> list[MPRenderResult]:
         """Render a sequence of views, returning results in order.
 
         With ``config.pipeline`` (the default) the whole animation goes
         out as one batch; ``pipeline=False`` falls back to per-frame
         submit/result pairs (still overlapped up to ``buffers`` frames
         deep by the classic protocol).  Pixels are identical either way.
+        ``regions`` (optional, parallel to ``views``) restricts each
+        frame to one shard's band.
         """
         if self.config.pipeline:
-            return [self.result(f) for f in self.submit_batch(views)]
-        handles = [self.submit(v) for v in views]
+            return [self.result(f) for f in self.submit_batch(views, regions)]
+        if regions is None:
+            regions = [None] * len(views)
+        handles = [self.submit(v, r) for v, r in zip(views, regions)]
         return [self.result(h) for h in handles]
 
     def _claim_frame_locked(self, plan: dict, batched: bool) -> int:
@@ -1929,6 +2034,8 @@ class MPRenderPool:
             steals=info["steals"],
             steal_rows=info["steal_rows"],
             retries=info["attempt"],
+            costs=info["costs"],
+            costs_v_lo=int(info["v_lo"]),
         )
         self._retire_buffer_locked(frame, info)
         if self._inflight:

@@ -168,13 +168,15 @@ class ThreadRenderPool:
 
     # -- frame lifecycle -----------------------------------------------------
 
-    def submit(self, view: np.ndarray) -> int:
+    def submit(self, view: np.ndarray, region=None) -> int:
         """Dispatch one frame; returns its frame id (never blocks —
-        per-frame images mean there is no buffer to wait for)."""
+        per-frame images mean there is no buffer to wait for).
+        ``region`` restricts the frame to one shard's band (see
+        :class:`~repro.parallel.mp_backend.FrameRegion`)."""
         with self._cond:
             self._raise_if_unusable()
             t_d0 = self._sup_rec.now() if self._sup_rec is not None else 0.0
-            plan = self._planner.plan(view)
+            plan = self._planner.plan(view, region=region)
             frame = self._claim_frame_locked(plan, batched=False)
             self._dispatch_locked(frame)
             self._sample_gauges_locked()
@@ -182,7 +184,7 @@ class ThreadRenderPool:
                 self._sup_rec.span(frame, "dispatch", t_d0, self._sup_rec.now())
             return frame
 
-    def submit_batch(self, views) -> list[int]:
+    def submit_batch(self, views, regions=None) -> list[int]:
         """Dispatch a whole animation in one queue message per worker.
 
         Planning is sequential and deterministic exactly as in the MP
@@ -190,14 +192,16 @@ class ThreadRenderPool:
         batched output is bit-identical to per-frame submission.
         """
         views = list(views)
+        if regions is None:
+            regions = [None] * len(views)
         with self._cond:
             self._raise_if_unusable()
             if not views:
                 return []
             t_d0 = self._sup_rec.now() if self._sup_rec is not None else 0.0
             frames = []
-            for view in views:
-                plan = self._planner.plan(view)
+            for view, region in zip(views, regions):
+                plan = self._planner.plan(view, region=region)
                 frame = self._claim_frame_locked(plan, batched=True)
                 self._prepare_frame_locked(frame)
                 frames.append(frame)
@@ -210,11 +214,13 @@ class ThreadRenderPool:
                                    self._sup_rec.now())
             return frames
 
-    def render_animation(self, views) -> list[MPRenderResult]:
+    def render_animation(self, views, regions=None) -> list[MPRenderResult]:
         """Render a sequence of views, returning results in order."""
         if self.config.pipeline:
-            return [self.result(f) for f in self.submit_batch(views)]
-        handles = [self.submit(v) for v in views]
+            return [self.result(f) for f in self.submit_batch(views, regions)]
+        if regions is None:
+            regions = [None] * len(views)
+        handles = [self.submit(v, r) for v, r in zip(views, regions)]
         return [self.result(h) for h in handles]
 
     def render(self, view: np.ndarray) -> MPRenderResult:
@@ -493,6 +499,8 @@ class ThreadRenderPool:
             steals=info["steals"],
             steal_rows=info["steal_rows"],
             retries=info["attempt"],
+            costs=info["costs"],
+            costs_v_lo=int(info["v_lo"]),
         )
 
     def _degrade_locked(self, frame: int) -> None:

@@ -23,6 +23,7 @@ __all__ = [
     "warp_tile",
     "warp_frame",
     "final_pixel_source_lines",
+    "pixel_source_rows",
     "warp_rows_by_pid",
 ]
 
@@ -194,6 +195,43 @@ def final_pixel_source_lines(
     out[:, 0] = np.floor(v.min(axis=1)).astype(np.int64)
     out[:, 1] = np.floor(v.max(axis=1)).astype(np.int64) + 1
     return out
+
+
+def pixel_source_rows(
+    final_shape: tuple[int, int],
+    intermediate_shape: tuple[int, int],
+    fact: ShearWarpFactorization,
+    coeffs: tuple[np.ndarray, np.ndarray] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per final pixel: its source scanline ``v0`` and validity mask.
+
+    This is :func:`warp_scanline`'s inverse-mapping arithmetic —
+    ``u``/``v``, the validity test, ``v0 = clip(floor(v), 0, n_v - 1)``
+    — evaluated for every row at once by broadcasting ``dy`` over the
+    row axis.  The elementwise IEEE operations are value-identical
+    under broadcasting, so ``v0[y, x]`` is bit-for-bit the scanline
+    ``warp_scanline(final, y, ...)`` would look up for pixel ``x``;
+    the two MUST stay in lockstep, because the shard merge tree uses
+    this map to decide which pool's framebuffer owns each final pixel
+    (``line_owner[v0]`` is exactly the ownership test the per-scanline
+    warp applies).
+
+    Returns ``(v0, valid)``, both of shape ``final_shape``; ``v0`` is
+    meaningful only where ``valid`` is True (invalid pixels are never
+    written by any warp and stay zero in every framebuffer).
+    """
+    ny, nx = final_shape
+    n_v, n_u = intermediate_shape
+    a_inv, b = coeffs if coeffs is not None else _inverse_coeffs(fact)
+    xs = np.arange(0, nx, dtype=np.float64)
+    ys = np.arange(0, ny, dtype=np.float64)
+    dx = xs[None, :] - b[0]
+    dy = ys[:, None] - b[1]
+    u = a_inv[0, 0] * dx + a_inv[0, 1] * dy
+    v = a_inv[1, 0] * dx + a_inv[1, 1] * dy
+    valid = (u >= 0.0) & (u <= n_u - 1) & (v >= 0.0) & (v <= n_v - 1)
+    v0 = np.clip(np.floor(v).astype(np.intp), 0, n_v - 1)
+    return v0, valid
 
 
 def warp_rows_by_pid(

@@ -95,7 +95,17 @@ class ServeConfig:
         The :class:`PoolConfig` every pool is built from; a request's
         ``kernel`` field rebuilds it per pool.  ``profile_period``
         defaults to 0 here — service traffic has no frame-to-frame
-        coherence for the profile loop to exploit.
+        coherence for the profile loop to exploit.  ``pool.shards > 1``
+        makes every lazily-created "pool" a sharded fleet
+        (:class:`~repro.shard.ShardedRenderService`) — the server drives
+        it through the identical API and never knows the difference.
+    idle_pool_s:
+        Evict a pool once it has sat idle (no render in flight, none
+        finished) this many seconds: its executor is drained, the pool
+        closed and its shm segments unlinked, so a server that saw a
+        burst of distinct datasets does not hold their worker fleets
+        forever.  The next request for that identity simply re-creates
+        the pool.  ``None`` (default) never evicts.
     allow_shutdown:
         Honor the ``shutdown`` protocol op (on by default: the server
         binds loopback unless configured otherwise).
@@ -111,6 +121,7 @@ class ServeConfig:
     pool: PoolConfig = field(
         default_factory=lambda: PoolConfig(n_procs=2, profile_period=0)
     )
+    idle_pool_s: float | None = None
     allow_shutdown: bool = True
 
     def __post_init__(self) -> None:
@@ -118,6 +129,8 @@ class ServeConfig:
             raise ValueError("max_inflight must be >= 1")
         if self.cache_frames < 1:
             raise ValueError("cache_frames must be >= 1")
+        if self.idle_pool_s is not None and self.idle_pool_s <= 0:
+            raise ValueError("idle_pool_s must be positive (or None)")
 
     def replace(self, **changes) -> "ServeConfig":
         return dataclasses.replace(self, **changes)
@@ -181,6 +194,11 @@ class RenderServer:
         self._renderers: dict[tuple, object] = {}
         #: pool key -> (pool, single-thread executor driving it)
         self._pools: dict[tuple, tuple[object, ThreadPoolExecutor]] = {}
+        #: pool key -> renders in flight / last time one finished, for
+        #: idle eviction (both only touched on the event-loop thread).
+        self._pool_busy: dict[tuple, int] = {}
+        self._pool_last_used: dict[tuple, float] = {}
+        self._evict_task: asyncio.Task | None = None
         self._pending: dict[str, asyncio.Future] = {}
         self._server: asyncio.AbstractServer | None = None
         self._conns: set[asyncio.StreamWriter] = set()
@@ -202,6 +220,10 @@ class RenderServer:
         self._server = await asyncio.start_server(
             self._handle_client, self.config.host, self.config.port
         )
+        if self.config.idle_pool_s is not None:
+            self._evict_task = asyncio.get_running_loop().create_task(
+                self._evict_idle_pools()
+            )
         return self
 
     async def serve_forever(self) -> None:
@@ -216,6 +238,12 @@ class RenderServer:
             return
         self._closed = True
         self._shutdown.set()
+        if self._evict_task is not None:
+            self._evict_task.cancel()
+            try:
+                await self._evict_task
+            except asyncio.CancelledError:
+                pass
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -378,13 +406,21 @@ class RenderServer:
         )
         self._pending[job_key] = fut
         try:
+            pool_key = self._pool_key(identities[0])
             pool, executor = self._pool_for(identities[0])
-            views = [i["view"] for i in identities]
-            self.metrics.counter("serve/pool_renders").inc()
-            self.metrics.counter("serve/pool_frames").inc(len(views))
-            planes = await loop.run_in_executor(
-                executor, self._render_fn, pool, views
-            )
+            # Busy before the first await: the eviction sweep runs on
+            # this same loop thread and never closes a busy pool.
+            self._pool_busy[pool_key] = self._pool_busy.get(pool_key, 0) + 1
+            try:
+                views = [i["view"] for i in identities]
+                self.metrics.counter("serve/pool_renders").inc()
+                self.metrics.counter("serve/pool_frames").inc(len(views))
+                planes = await loop.run_in_executor(
+                    executor, self._render_fn, pool, views
+                )
+            finally:
+                self._pool_busy[pool_key] -= 1
+                self._pool_last_used[pool_key] = time.monotonic()
             frames = [CachedFrame.from_planes(c, a) for c, a in planes]
             for key, frame in zip(keys, frames):
                 self.cache.put(key, frame)
@@ -399,17 +435,23 @@ class RenderServer:
 
     # -- pools ---------------------------------------------------------------
 
-    def _pool_for(self, identity: dict) -> tuple[object, ThreadPoolExecutor]:
-        """The pool (and its driver thread) for one request identity.
-
-        Keyed by everything that forks different renderer state into the
-        workers: dataset, scale, classification and kernel.  Created
-        lazily on the event-loop thread so the pool map needs no lock.
-        """
-        key = (
+    @staticmethod
+    def _pool_key(identity: dict) -> tuple:
+        """Pool-map key: everything that forks different renderer state
+        into the workers — dataset, scale, classification, kernel."""
+        return (
             identity["dataset"], identity["scale"],
             json.dumps(identity["classification"]), identity["kernel"],
         )
+
+    def _pool_for(self, identity: dict) -> tuple[object, ThreadPoolExecutor]:
+        """The pool (and its driver thread) for one request identity.
+
+        Created lazily on the event-loop thread so the pool map needs no
+        lock; an idle-evicted pool is simply re-created here on its next
+        request.
+        """
+        key = self._pool_key(identity)
         entry = self._pools.get(key)
         if entry is None:
             import repro
@@ -431,8 +473,40 @@ class RenderServer:
                 max_workers=1, thread_name_prefix=f"serve-pool-{len(self._pools)}"
             )
             entry = self._pools[key] = (pool, executor)
+            self._pool_last_used[key] = time.monotonic()
             self.metrics.gauge("serve/pools").set(len(self._pools))
         return entry
+
+    async def _evict_idle_pools(self) -> None:
+        """Close pools idle longer than ``idle_pool_s`` (loop-thread task).
+
+        A pool is idle when no render is in flight on it and its last
+        render finished more than ``idle_pool_s`` ago.  Eviction mirrors
+        :meth:`close` for one pool: drain the executor (off-loop — it is
+        the only thread driving the pool), close the pool, unlink its
+        shm.  Note an evicted pool's metrics leave the stats snapshot
+        with it.
+        """
+        idle_s = self.config.idle_pool_s
+        loop = asyncio.get_running_loop()
+        while not self._closed:
+            await asyncio.sleep(max(0.01, idle_s / 4))
+            now = time.monotonic()
+            for key in list(self._pools):
+                if self._pool_busy.get(key, 0) > 0:
+                    continue
+                if now - self._pool_last_used.get(key, now) < idle_s:
+                    continue
+                pool, executor = self._pools.pop(key)
+                self._pool_busy.pop(key, None)
+                self._pool_last_used.pop(key, None)
+                # Count at pop time: the await below yields to the loop,
+                # and an observer must never see the pool gone from
+                # ``_pools`` while the eviction counter still reads 0.
+                self.metrics.counter("serve/pools_evicted").inc()
+                self.metrics.gauge("serve/pools").set(len(self._pools))
+                await loop.run_in_executor(None, executor.shutdown)
+                pool.close()
 
     @staticmethod
     def _pool_render(pool, views) -> list[tuple[np.ndarray, np.ndarray]]:
@@ -478,6 +552,7 @@ class RenderServer:
             "cache_frames": self.config.cache_frames,
             "n_procs": self.config.pool.n_procs,
             "backend": self.config.pool.backend,
+            "shards": self.config.pool.shards,
         }
         return snap
 

@@ -125,11 +125,14 @@ class TestMidBatchFaults:
                                                          monkeypatch):
         """Worker 0 is SIGKILLed compositing frame 2 of a 6-frame batch.
 
-        The already-collected frames (0 and 1 — both workers pass frame
-        1's barrier before either can enter frame 2, and the supervisor
-        absorbs completed doorbell cells before it checks sentinels)
-        must not be re-rendered; the unfinished tail is re-dispatched
-        once and everything comes back bit-identical.
+        Frames the parent has already collected must not be re-rendered;
+        the unfinished tail is re-dispatched once and everything comes
+        back bit-identical.  Frame 0 is always collected by kill time
+        (worker 0 rang it before even entering frame 1).  Frame 1 is
+        *usually* collected too, but the surviving worker may still be
+        inside frame 1's warp when the supervisor stops the set — its
+        doorbell not yet rung — in which case retrying frame 1 is the
+        correct behaviour, not a double render.
         """
         monkeypatch.setattr(mpb, "_TEST_FAULT", (0, 2, "kill", "composite"))
         views = _views(renderer, 6)
@@ -142,10 +145,11 @@ class TestMidBatchFaults:
         _assert_identical(res, refs)
         assert fc["worker_restarts"] >= 2  # the whole set is respawned
         assert fc["degraded_frames"] == 0
-        # Only the unfinished frames (2..5) were retried — frames 0 and
-        # 1 were already materialized when recovery ran.
-        assert fc["frames_retried"] == 4
-        assert res[0].retries == 0 and res[1].retries == 0
+        # The unfinished frames (2..5, plus frame 1 iff its doorbell
+        # hadn't been absorbed) were retried — never collected ones.
+        assert 4 <= fc["frames_retried"] <= 5
+        assert res[0].retries == 0
+        assert res[1].retries <= 1
         assert all(r.retries == 1 for r in res[2:])
 
     def test_raise_mid_batch_recovers_bit_identical(self, renderer,

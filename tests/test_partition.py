@@ -9,6 +9,7 @@ from repro.core.partition import (
     contiguous_partition,
     interleaved_chunks,
     line_ownership,
+    nested_contiguous_partition,
     partition_sizes,
     round_robin_tiles,
     uniform_contiguous_partition,
@@ -170,6 +171,73 @@ class TestContiguousPartition:
         profile[0] = 100.0  # all the work in one line
         bounds = contiguous_partition(profile, 5)
         assert np.all(np.diff(bounds) >= 0)
+
+    def test_float_costs_not_truncated(self):
+        # Calibrated profiles are fractional seconds.  An int cast would
+        # zero them all and silently fall back to the uniform split; the
+        # skewed fractional profile below must move the boundary.
+        profile = np.full(10, 0.1)
+        profile[5:] = 0.9
+        bounds = contiguous_partition(profile, 2)
+        assert bounds[1] > 5  # not the uniform split point
+        # Same split whether a cost arrives as int or equal-valued float.
+        ints = np.array([3, 1, 4, 1, 5, 9, 2, 6], dtype=np.int64)
+        assert np.array_equal(
+            contiguous_partition(ints, 3),
+            contiguous_partition(ints.astype(np.float64), 3),
+        )
+
+    def test_nan_cost_rejected(self):
+        profile = np.ones(10)
+        profile[3] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            contiguous_partition(profile, 2)
+
+
+class TestNestedPartition:
+    """Two-level shard -> scanline split: the shard service's planner."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n=st.integers(1, 128),
+        n_shards=st.integers(1, 6),
+        n_inner=st.integers(1, 4),
+        v_lo=st.integers(0, 50),
+        seed=st.integers(0, 1000),
+    )
+    def test_two_level_split_is_a_cover(self, n, n_shards, n_inner, v_lo,
+                                        seed):
+        """The composed split covers ``[v_lo, v_lo + n)`` exactly once,
+        shard cells nest inside their shard, and whenever there are
+        enough scanlines to go around no shard is empty."""
+        rng = np.random.default_rng(seed)
+        profile = rng.random(n)
+        profile[rng.random(n) < 0.5] = 0.0  # skewed, mostly-zero
+        outer, inner = nested_contiguous_partition(
+            profile, n_shards, n_inner, v_lo=v_lo
+        )
+        assert outer[0] == v_lo and outer[-1] == v_lo + n
+        assert np.all(np.diff(outer) >= 0)
+        assert len(inner) == n_shards
+        covered = []
+        for s in range(n_shards):
+            cell = inner[s]
+            # Inner boundaries tile exactly the shard's slice.
+            assert cell[0] == outer[s] and cell[-1] == outer[s + 1]
+            assert np.all(np.diff(cell) >= 0)
+            for b in range(n_inner):
+                covered.extend(range(int(cell[b]), int(cell[b + 1])))
+        # Every scanline lands in exactly one (shard, block) cell.
+        assert sorted(covered) == list(range(v_lo, v_lo + n))
+        if n >= n_shards:
+            assert np.all(partition_sizes(outer) >= 1)  # no empty shard
+
+    def test_fractional_shard_costs_balance(self):
+        # All-float profile with the mass at the end: the first shard
+        # gets many cheap lines, not half the count.
+        profile = np.concatenate([np.full(40, 0.01), np.full(8, 1.0)])
+        outer, _ = nested_contiguous_partition(profile, 2, 2)
+        assert outer[1] > 30
 
 
 class TestUniformPartition:

@@ -329,6 +329,105 @@ class TestServer:
         assert resp["error"] == "PermissionError"
 
 
+class TestIdlePoolEviction:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="idle_pool_s"):
+            thread_config(idle_pool_s=0.0)
+
+    def test_idle_pool_is_evicted_and_rebuilt(self):
+        """A pool idle past ``idle_pool_s`` is closed and forgotten; the
+        next request for its identity transparently rebuilds it."""
+        server = RenderServer(thread_config(idle_pool_s=0.05))
+
+        async def body():
+            async with server:
+                host, port = server.address
+                c = await RenderClient.connect(host, port)
+                r1 = await c.request({"op": "render", "ry": 30.0})
+                assert r1["status"] == "ok" and server._pools
+                # The sweeper runs every idle_pool_s / 4: the idle pool
+                # must disappear without any further requests.
+                for _ in range(400):
+                    if not server._pools:
+                        break
+                    await asyncio.sleep(0.01)
+                evicted = server.metrics.counter("serve/pools_evicted").value
+                pools_gone = not server._pools
+                # A distinct view (cache miss) forces a fresh pool.
+                r2 = await c.request({"op": "render", "ry": 33.0})
+                await c.close()
+                return pools_gone, evicted, r2
+
+        pools_gone, evicted, r2 = run(body())
+        assert pools_gone
+        assert evicted >= 1
+        assert r2["status"] == "ok"
+        assert server.metrics.counters["serve/pool_renders"].value == 2
+
+    def test_busy_pool_survives_the_sweeper(self):
+        """A pool with a render in flight is never evicted, no matter
+        how long the render outlives ``idle_pool_s``."""
+        gate = GatedRender()
+        server = RenderServer(thread_config(idle_pool_s=0.05),
+                              render_fn=gate)
+
+        async def body():
+            async with server:
+                host, port = server.address
+                c = await RenderClient.connect(host, port)
+                t = asyncio.ensure_future(
+                    c.request({"op": "render", "ry": 30.0}))
+                while not server._pools:
+                    await asyncio.sleep(0.005)
+                # Several sweep periods pass while the render is gated.
+                await asyncio.sleep(0.3)
+                still_there = bool(server._pools)
+                evicted = server.metrics.counter("serve/pools_evicted").value
+                gate.release.set()
+                resp = await t
+                await c.close()
+                return still_there, evicted, resp
+
+        still_there, evicted, resp = run(body())
+        assert still_there
+        assert evicted == 0
+        assert resp["status"] == "ok"
+
+
+class TestShardedServe:
+    def test_server_drives_a_shard_fleet(self):
+        """``pool.shards > 1`` makes the server's pool a shard fleet;
+        nothing else about the serving path changes."""
+        cfg = ServeConfig(
+            pool=PoolConfig(n_procs=1, backend="thread", shards=2,
+                            profile_period=0),
+            **TINY,
+        )
+        server = RenderServer(cfg)
+        from repro.shard import ShardedRenderService
+
+        async def body():
+            async with server:
+                host, port = server.address
+                c = await RenderClient.connect(host, port)
+                resp = await c.request({"op": "render", "rx": 20.0,
+                                        "ry": 30.0, "rz": 0.0})
+                kinds = [type(pool) for pool, _ in server._pools.values()]
+                await c.close()
+                return resp, kinds
+
+        resp, kinds = run(body())
+        assert resp["status"] == "ok"
+        assert kinds == [ShardedRenderService]
+        (color, alpha), = response_frames(resp)
+        from repro.serve.server import _default_renderer_factory
+
+        renderer = _default_renderer_factory("mri128", 0.08, "mri")
+        ref = renderer.render(renderer.view_from_angles(20.0, 30.0, 0.0))
+        assert np.allclose(color, ref.final.color, atol=1e-5)
+        assert np.allclose(alpha, ref.final.alpha, atol=1e-5)
+
+
 class TestShutdownNoLeak:
     def test_close_releases_every_shm_segment(self):
         """The mp pools' shared-memory segments are unlinked by

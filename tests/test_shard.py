@@ -1,0 +1,355 @@
+"""Tests for the sharded multi-pool render service.
+
+The contract under test is the one the merge tree is built on: for any
+shard count, backend, kernel and stealing mode, the merged frame is
+bit-identical to the serial renderer — including while one shard's
+worker set is being killed and recovered, and while the shard-level
+feedback loop is moving the shard boundaries between frames.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+import repro
+import repro.parallel.mp_backend as mpb
+from repro.datasets import mri_brain
+from repro.parallel.mp_backend import PoolConfig
+from repro.render import ShearWarpRenderer
+from repro.shard import (
+    ShardConfig,
+    ShardedRenderService,
+    merge_schedule,
+)
+from repro.volume import mri_transfer_function
+
+
+@pytest.fixture(scope="module")
+def renderer():
+    return ShearWarpRenderer(mri_brain((20, 20, 16)), mri_transfer_function())
+
+
+def _views(renderer, n):
+    return [renderer.view_from_angles(20, 30 + 3 * i, 0) for i in range(n)]
+
+
+def _assert_bit_identical(renderer, views, results):
+    for view, res in zip(views, results):
+        ref = renderer.render(view)
+        assert np.array_equal(res.final.color, ref.final.color)
+        assert np.array_equal(res.final.alpha, ref.final.alpha)
+
+
+class TestBitIdentity:
+    """Merged output == serial output, across the configuration matrix."""
+
+    @pytest.mark.parametrize(
+        "backend,shards,stealing,kernel",
+        [
+            ("mp", 1, True, "block"),
+            ("mp", 2, True, "block"),
+            ("mp", 2, False, "scanline"),
+            ("mp", 4, False, "block"),
+            ("thread", 2, True, "scanline"),
+            ("thread", 2, False, "block"),
+            ("thread", 4, True, "block"),
+        ],
+    )
+    def test_matrix(self, renderer, backend, shards, stealing, kernel):
+        views = _views(renderer, 3)
+        cfg = PoolConfig(n_procs=2, shards=shards, stealing=stealing,
+                         backend=backend, kernel=kernel, profile_period=2)
+        with ShardedRenderService(renderer, cfg) as svc:
+            results = svc.render_animation(views)
+            merges = svc.metrics.counter("shard/merges").value
+        _assert_bit_identical(renderer, views, results)
+        # A binary merge tree over N shards does N - 1 merges per frame.
+        assert merges == (shards - 1) * len(views)
+
+    def test_intermediate_matches_serial(self, renderer):
+        view = renderer.view_from_angles(20, 30, 0)
+        ref = renderer.render(view)
+        with ShardedRenderService(
+            renderer, PoolConfig(n_procs=2, shards=2, profile_period=0)
+        ) as svc:
+            res = svc.render(view)
+        assert np.array_equal(res.intermediate.color, ref.intermediate.color)
+        assert np.array_equal(res.intermediate.opacity, ref.intermediate.opacity)
+
+    def test_result_shape_matches_pool_result(self, renderer):
+        """The merged result duck-types a single pool's MPRenderResult."""
+        with ShardedRenderService(
+            renderer, PoolConfig(n_procs=2, shards=2, profile_period=2)
+        ) as svc:
+            res = svc.render(renderer.view_from_angles(20, 30, 0))
+            assert svc.n_procs == 4
+        assert res.n_procs == 4
+        assert len(res.busy_s) == 2  # one busy total per shard
+        assert not res.degraded and res.retries == 0
+
+
+class TestShardConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="shard"):
+            ShardConfig(shards=0)
+        with pytest.raises(ValueError, match="shard_pools"):
+            ShardConfig(shards=3, shard_pools=(PoolConfig(), PoolConfig()))
+
+    def test_config_and_overrides_is_an_error(self, renderer):
+        with pytest.raises(TypeError, match="overrides"):
+            ShardedRenderService(renderer, ShardConfig(shards=2), n_procs=2)
+
+    def test_pool_config_strips_shards(self):
+        scfg = ShardConfig(shards=3, pool=PoolConfig(shards=3, n_procs=2))
+        for s in range(3):
+            assert scfg.pool_config(s).shards == 1
+
+    def test_heterogeneous_fleet_bit_identical(self, renderer):
+        """An mp pool and a thread pool can serve one frame together."""
+        views = _views(renderer, 2)
+        scfg = ShardConfig(
+            shards=2,
+            shard_pools=(
+                PoolConfig(n_procs=2, backend="mp", profile_period=2),
+                PoolConfig(n_procs=2, backend="thread", profile_period=2),
+            ),
+        )
+        with ShardedRenderService(renderer, scfg) as svc:
+            results = svc.render_animation(views)
+        _assert_bit_identical(renderer, views, results)
+
+
+class TestMergeSchedule:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8, 13])
+    def test_every_shard_merges_into_root_exactly_once(self, n):
+        steps = [s for rnd in merge_schedule(n) for s in rnd]
+        assert len(steps) == n - 1
+        # Each non-root shard appears as a source exactly once...
+        assert sorted(src for _, src, _ in steps) == list(range(1, n))
+        # ...and the subtrees merged into the root tile [1, n) exactly:
+        # every shard's owned pixels reach framebuffer 0 exactly once.
+        root = sorted(
+            s for dst, src, span in steps if dst == 0
+            for s in range(src, src + span)
+        )
+        assert root == list(range(1, n))
+
+    def test_rounds_are_logarithmic(self):
+        # Distance between partners doubles per round: ceil(log2(n)) rounds.
+        rounds = merge_schedule(8)
+        assert len(rounds) == 3
+        gaps = [src - dst for rnd in rounds for dst, src, _ in rnd]
+        assert gaps == [1, 1, 1, 1, 2, 2, 4]
+        # Steps within one round touch disjoint framebuffers.
+        for rnd in rounds:
+            touched = [i for dst, src, _ in rnd for i in (dst, src)]
+            assert len(touched) == len(set(touched))
+
+
+class TestFacade:
+    def test_open_pool_dispatches_on_shards(self, renderer):
+        with repro.open_pool(renderer, n_procs=2, shards=2) as svc:
+            assert isinstance(svc, ShardedRenderService)
+            view = renderer.view_from_angles(20, 30, 0)
+            res = svc.render(view)
+        ref = renderer.render(view)
+        assert np.array_equal(res.final.color, ref.final.color)
+
+    def test_open_pool_accepts_shard_config(self, renderer):
+        scfg = ShardConfig(shards=2, pool=PoolConfig(n_procs=2))
+        with repro.open_pool(renderer, scfg) as svc:
+            assert isinstance(svc, ShardedRenderService)
+            assert svc.n_shards == 2
+
+    def test_render_frame_with_shards(self, renderer):
+        view = renderer.view_from_angles(20, 30, 0)
+        ref = renderer.render(view)
+        res = repro.render_frame(renderer, view, n_procs=2, shards=2)
+        assert np.array_equal(res.final.color, ref.final.color)
+
+    def test_top_level_exports(self):
+        assert repro.ShardConfig is ShardConfig
+        assert repro.ShardedRenderService is ShardedRenderService
+
+
+class TestReshardFeedback:
+    """The section 4.2-4.3 loop one level up: profiles move shard bounds."""
+
+    def test_profiled_frames_reshard(self, renderer):
+        views = _views(renderer, 4)
+        with ShardedRenderService(
+            renderer, PoolConfig(n_procs=2, shards=2, profile_period=2)
+        ) as svc:
+            results = svc.render_animation(views)
+            reshards = svc.metrics.counter("shard/reshards").value
+            assert svc._planner.profile is not None
+        _assert_bit_identical(renderer, views, results)
+        # profile_period=2 over 4 frames -> profiled frames 0 and 2 both
+        # stitched a cross-shard profile back into the shard planner.
+        assert reshards == 2
+
+    def test_axis_switch_invalidates_shard_profile(self, renderer):
+        with ShardedRenderService(
+            renderer, PoolConfig(n_procs=2, shards=2, profile_period=1)
+        ) as svc:
+            svc.render(renderer.view_from_angles(5, 5, 0))    # axis A
+            svc.render(renderer.view_from_angles(85, 5, 0))   # axis flip
+            inval = svc.metrics.counter("shard/reshard_invalidations").value
+        assert inval >= 1
+
+    def test_busy_feedback_shrinks_a_slowed_shard(self, renderer,
+                                                  monkeypatch):
+        """Injected interference on shard 0: op counts can't see it, the
+        busy-calibrated profile can — the re-shard shrinks its band."""
+        monkeypatch.setenv("REPRO_SHARD_ROW_DELAY", "0:0:0.005")
+        views = _views(renderer, 4)
+        with ShardedRenderService(
+            renderer,
+            PoolConfig(n_procs=2, shards=2, stealing=False, profile_period=2),
+        ) as svc:
+            results = [svc.render(v) for v in views]
+
+        def mid_fraction(res):
+            lo, mid, hi = (int(res.boundaries[i]) for i in (0, 1, 2))
+            return (mid - lo) / max(1, hi - lo)
+
+        # Frame 0 runs on the uniform split; the busy-calibrated
+        # re-shard it feeds back must hand the slowed shard a smaller
+        # band for the rest of the animation.
+        assert mid_fraction(results[-1]) < mid_fraction(results[0]) - 0.1
+        _assert_bit_identical(renderer, views, results)
+
+    def test_bit_identical_under_injected_shard_delay(self, renderer,
+                                                      monkeypatch):
+        """The chaos knob slows one shard; pixels must not change."""
+        monkeypatch.setenv("REPRO_SHARD_ROW_DELAY", "0:0:0.002")
+        views = _views(renderer, 3)
+        with ShardedRenderService(
+            renderer, PoolConfig(n_procs=2, shards=2, profile_period=2)
+        ) as svc:
+            results = svc.render_animation(views)
+        _assert_bit_identical(renderer, views, results)
+
+
+class TestShardFaultIsolation:
+    """Kill one shard's worker mid-animation: siblings never restart."""
+
+    def test_sigkill_one_shard_worker(self, renderer, monkeypatch):
+        # Slow shard 1 down so frames are still in flight when the
+        # signal lands (the same knob the single-pool kill test uses).
+        # The delay and frame count give the animation a wall clock of
+        # a second or more, so the early kill cannot race completion.
+        monkeypatch.setenv("REPRO_SHARD_ROW_DELAY", "1:0:0.01")
+        views = _views(renderer, 8)
+        results = []
+        with ShardedRenderService(
+            renderer, PoolConfig(n_procs=2, shards=2, profile_period=0)
+        ) as svc:
+            t = threading.Thread(
+                target=lambda: results.extend(svc.render_animation(views))
+            )
+            t.start()
+            time.sleep(0.25)
+            os.kill(svc._pools[1]._workers[0].pid, signal.SIGKILL)
+            t.join(90.0)
+            assert not t.is_alive()
+            per_shard = svc.shard_fault_counters()
+            total = svc.fault_counters()
+        _assert_bit_identical(renderer, views, results)
+        # The kill was recovered entirely inside shard 1's pool.
+        assert per_shard[1]["worker_restarts"] >= 1
+        assert per_shard[0]["worker_restarts"] == 0
+        assert total["worker_restarts"] == per_shard[1]["worker_restarts"]
+
+    def test_concurrent_recovery_in_every_shard(self, renderer, monkeypatch):
+        # Arm the deterministic fault hook before the pools fork: worker
+        # 0 of *every* shard SIGKILLs itself at frame 1, so both
+        # supervisors respawn their worker sets at the same time.  The
+        # respawns stage worker state in the module-global ``_G`` before
+        # forking; without the spawn lock the two recoveries could
+        # interleave and fork one pool's workers against the other
+        # pool's queues and barrier (an intermittent cross-pool wedge).
+        monkeypatch.setattr(mpb, "_TEST_FAULT", (0, 1, "kill", "composite"))
+        views = _views(renderer, 4)
+        with ShardedRenderService(
+            renderer, PoolConfig(n_procs=2, shards=2, profile_period=2)
+        ) as svc:
+            results = svc.render_animation(views)
+            per_shard = svc.shard_fault_counters()
+        _assert_bit_identical(renderer, views, results)
+        assert all(c["worker_restarts"] >= 1 for c in per_shard)
+
+
+class TestTrace:
+    def test_shard_trace_exports_and_validates(self, renderer, tmp_path):
+        views = _views(renderer, 2)
+        with ShardedRenderService(
+            renderer,
+            PoolConfig(n_procs=2, shards=2, profile_period=2, trace=True),
+        ) as svc:
+            results = svc.render_animation(views)
+            merge_track = sum(p.n_procs + 1 for p in svc._pools)
+            path = tmp_path / "shard_trace.json"
+            svc.export_chrome_trace(str(path), metadata={"note": "test"})
+        _assert_bit_identical(renderer, views, results)
+        from repro.obs import load_chrome_trace, validate_chrome_trace
+        trace = load_chrome_trace(str(path))
+        assert validate_chrome_trace(trace) == []
+        meta = trace["otherData"]
+        assert meta["backend"] == "shard"
+        assert int(meta["shards"]) == 2
+        assert int(meta["shard/merges"]) >= 1
+        assert meta["note"] == "test"
+        # Merge spans live on their own track, above every pool's.
+        merge_spans = [
+            ev for ev in trace["traceEvents"]
+            if ev.get("name") == "merge" and ev.get("ph") == "X"
+        ]
+        assert merge_spans
+        assert all(ev["tid"] == merge_track for ev in merge_spans)
+
+    def test_untraced_service_refuses_export(self, renderer, tmp_path):
+        with ShardedRenderService(
+            renderer, PoolConfig(n_procs=2, shards=2)
+        ) as svc:
+            with pytest.raises(RuntimeError, match="trace"):
+                svc.export_chrome_trace(str(tmp_path / "x.json"))
+
+
+class TestNoLeaks:
+    def test_close_unlinks_framebuffers_and_pools(self, renderer):
+        svc = ShardedRenderService(
+            renderer, PoolConfig(n_procs=2, shards=2, backend="mp")
+        )
+        names = [fb._shm.name for fb in svc._fbs]
+        names += [p._shm_i.name for p in svc._pools]
+        svc.render(renderer.view_from_angles(20, 30, 0))
+        svc.close()
+        svc.close()  # idempotent
+        from multiprocessing import shared_memory as sm
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                sm.SharedMemory(name=name)
+
+
+class TestMultiPoolBarrierRegression:
+    """Two live mp pools must not alias barrier state (use-after-free).
+
+    Constructing a second pool while the first is rendering used to
+    reuse the first barrier's freed shared-heap block, wedging both
+    pools' workers mid-frame.  Six lockstep frames across two pools
+    reproduce the original hang within a few runs if the parent ever
+    drops its barrier reference.
+    """
+
+    def test_two_pools_in_lockstep(self, renderer):
+        views = _views(renderer, 6)
+        cfg = PoolConfig(n_procs=2, shards=2, stealing=False,
+                         profile_period=2)
+        with ShardedRenderService(renderer, cfg) as svc:
+            results = svc.render_animation(views)
+        _assert_bit_identical(renderer, views, results)
