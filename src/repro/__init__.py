@@ -48,15 +48,29 @@ _POOL_EXPORTS = (
     "PoolUnrecoverable",
 )
 
+#: Facade symbols re-exported (lazily) from :mod:`repro.parallel.backend`.
+_BACKEND_EXPORTS = (
+    "RenderBackend",
+    "BackendCapabilities",
+    "FrameSpec",
+)
+
 #: Facade symbols re-exported (lazily) from :mod:`repro.shard`.
 _SHARD_EXPORTS = (
     "ShardConfig",
     "ShardedRenderService",
 )
 
+#: Facade symbols re-exported (lazily) from :mod:`repro.movie`.
+_MOVIE_EXPORTS = (
+    "TimeVaryingVolume",
+    "TimeVaryingRenderer",
+    "MoviePipeline",
+)
+
 __all__ = [
     "__version__", "open_pool", "render_frame", *_POOL_EXPORTS,
-    *_SHARD_EXPORTS,
+    *_BACKEND_EXPORTS, *_SHARD_EXPORTS, *_MOVIE_EXPORTS,
 ]
 
 
@@ -134,8 +148,16 @@ def __getattr__(name: str):
         from . import parallel
 
         return getattr(parallel.mp_backend, name)
+    if name in _BACKEND_EXPORTS:
+        from .parallel import backend
+
+        return getattr(backend, name)
     if name in _SHARD_EXPORTS:
         from . import shard
 
         return getattr(shard, name)
+    if name in _MOVIE_EXPORTS:
+        from . import movie
+
+        return getattr(movie, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -2,6 +2,7 @@
 
 from .io import load_den, load_volume, save_den, save_volume
 from .phantoms import (
+    beating_heart,
     ct_head,
     density_wedge,
     empty_volume,
@@ -17,6 +18,7 @@ __all__ = [
     "load_volume",
     "save_den",
     "save_volume",
+    "beating_heart",
     "ct_head",
     "density_wedge",
     "empty_volume",

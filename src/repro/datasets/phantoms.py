@@ -32,6 +32,7 @@ __all__ = [
     "empty_volume",
     "random_blobs",
     "density_wedge",
+    "beating_heart",
 ]
 
 
@@ -184,3 +185,55 @@ def density_wedge(
     texture = _smooth_noise(shape, rng, cells=7)
     vol = np.where(body & occupied, 115.0 + 30.0 * texture, 0.0)
     return np.clip(vol, 0, 255).astype(np.uint8)
+
+
+def beating_heart(
+    shape: tuple[int, int, int] = (48, 48, 32),
+    timesteps: int = 4,
+    seed: int = 11,
+    exponent: float = 2.0,
+    swing: float = 0.9,
+) -> list[np.ndarray]:
+    """Time-varying phantom: :func:`density_wedge`'s dense end *moves*.
+
+    Returns ``timesteps`` volumes forming one periodic "heartbeat": the
+    occupancy ramp's dense end swings along ``y`` like a contracting
+    chamber, following ``sin(2*pi*t/T)`` with amplitude ``swing``, and
+    the body ellipsoid squeezes a few percent in counter-phase.  The
+    noise fields are drawn once (same ``seed``) so consecutive timesteps
+    differ only by the *motion* — exactly the frame-to-frame change a
+    time-varying render has to track.
+
+    Why this stresses the profile feedback loop: per-scanline
+    compositing cost tracks occupancy, so each timestep's cost profile
+    is the lopsided wedge profile *shifted* — a partition balanced from
+    frame ``t``'s measured profile is mispredicted at frame ``t+1`` by
+    exactly the wedge's motion, which is what the §4.2 loop must absorb
+    frame to frame (and the pool's boundary-drift histogram makes
+    visible).
+    """
+    if timesteps < 1:
+        raise ValueError("need at least one timestep")
+    x, y, z = _coord_grids(shape)
+    rng = np.random.default_rng(seed)
+    # One draw of the stochastic fields, shared by every timestep.
+    occ_draw = rng.random(shape)
+    texture = _smooth_noise(shape, rng, cells=7)
+    vols: list[np.ndarray] = []
+    for t in range(timesteps):
+        phase = 2.0 * np.pi * t / timesteps
+        centre = swing * np.sin(phase)
+        squeeze = 1.0 - 0.06 * (1.0 + np.cos(phase)) / 2.0
+        body = np.broadcast_to(
+            (x / 0.95) ** 2 + (y / (0.98 * squeeze)) ** 2 + (z / 0.95) ** 2
+            < 1.0,
+            shape,
+        )
+        # Distance from the moving dense end, folded into [0, 1]: the
+        # wedge ramp of density_wedge, recentred at ``centre``.
+        dist = np.abs(y - centre) / 2.0
+        ramp = np.clip(1.0 - dist, 0.0, 1.0) ** exponent
+        occupied = occ_draw < np.broadcast_to(0.02 + 0.96 * ramp, shape)
+        vol = np.where(body & occupied, 115.0 + 30.0 * texture, 0.0)
+        vols.append(np.clip(vol, 0, 255).astype(np.uint8))
+    return vols

@@ -1,0 +1,82 @@
+"""Frame encoders for the movie pipeline: real PNG and NPZ sequences.
+
+The PNG writer is a self-contained grayscale encoder (``zlib`` +
+``struct`` only — no imaging dependency), and it is **deterministic**:
+the same float image always produces the same file bytes, which is what
+lets CI byte-compare pipeline output against a serially rendered
+reference *at the file level*.  NPZ frames carry the full float32
+``color``/``alpha`` planes losslessly (the bit-identity contract is
+checked on the arrays, since zip containers embed timestamps).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+__all__ = ["to_gray8", "encode_png", "write_png", "write_npz", "FRAME_FORMATS"]
+
+#: Formats :class:`repro.movie.MoviePipeline` can write.
+FRAME_FORMATS = ("png", "npz")
+
+_PNG_SIGNATURE = b"\x89PNG\r\n\x1a\n"
+
+
+def to_gray8(plane: np.ndarray) -> np.ndarray:
+    """Quantize a float image to 8-bit grayscale.
+
+    The renderer's planes live in ``[0, 1]``; values are clipped, scaled
+    to ``[0, 255]`` and rounded half-up — a pure function of the input
+    array, so quantization can never break frame-to-frame determinism.
+    """
+    a = np.asarray(plane, dtype=np.float32)
+    return (np.clip(a, 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8)
+
+
+def _chunk(tag: bytes, payload: bytes) -> bytes:
+    return (
+        struct.pack(">I", len(payload))
+        + tag
+        + payload
+        + struct.pack(">I", zlib.crc32(tag + payload) & 0xFFFFFFFF)
+    )
+
+
+def encode_png(gray: np.ndarray) -> bytes:
+    """Encode a 2-D ``uint8`` array as a grayscale 8-bit PNG (bytes).
+
+    Every scanline uses filter type 0 (None) and the compressor runs at
+    a fixed level, so encoding is deterministic.
+    """
+    gray = np.ascontiguousarray(gray, dtype=np.uint8)
+    if gray.ndim != 2:
+        raise ValueError(f"expected a 2-D image, got shape {gray.shape}")
+    h, w = gray.shape
+    ihdr = struct.pack(">IIBBBBB", w, h, 8, 0, 0, 0, 0)
+    # Raw scanlines, each prefixed by the filter-type byte.
+    raw = b"".join(b"\x00" + gray[y].tobytes() for y in range(h))
+    idat = zlib.compress(raw, 6)
+    return (
+        _PNG_SIGNATURE
+        + _chunk(b"IHDR", ihdr)
+        + _chunk(b"IDAT", idat)
+        + _chunk(b"IEND", b"")
+    )
+
+
+def write_png(path, plane: np.ndarray) -> None:
+    """Write one float image plane as a grayscale PNG file."""
+    data = encode_png(to_gray8(plane))
+    with open(path, "wb") as fh:
+        fh.write(data)
+
+
+def write_npz(path, color: np.ndarray, alpha: np.ndarray) -> None:
+    """Write one frame's float32 planes losslessly as ``.npz``."""
+    np.savez(
+        path,
+        color=np.ascontiguousarray(color, dtype=np.float32),
+        alpha=np.ascontiguousarray(alpha, dtype=np.float32),
+    )

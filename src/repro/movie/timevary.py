@@ -1,0 +1,165 @@
+"""Time-varying volumes: per-timestep RLE encodings behind one renderer.
+
+A movie of a *moving* volume needs, per timestep, exactly what the
+static renderer precomputes once — classification plus the three
+per-axis run-length encodings.  :class:`TimeVaryingVolume` precomputes
+them for every timestep up front (the VolPack preprocessing cost, paid
+``T`` times), and :class:`TimeVaryingRenderer` swaps the active
+encoding per frame through the same ``rle_for`` seam the pools already
+call — so every backend (mp, thread, shard) renders time-varying frames
+without a single pool-side change beyond threading the ``timestep``
+through the job.
+
+Memory and invalidation
+-----------------------
+All ``T * 3`` encodings stay resident (they must: the mp workers
+inherit them through the fork snapshot at pool construction, so they
+cannot be built lazily after the fork).  What is *not* allowed to
+accumulate is decoded-slice cache: the static renderer already drops
+the slice cache of an encoding left behind by a principal-axis switch,
+and the time-varying renderer generalizes that exact rule to the
+``(timestep, axis)`` pair — switching either coordinate clears the
+encoding just left behind, so at most one encoding per consumer holds
+decoded planes.  Clearing is also the stale-slice guard: a decoded
+plane can never outlive the (timestep, axis) encoding it was decoded
+from, because each encoding owns its own cache and caches are keyed
+within one encoding only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..render.serial import ShearWarpRenderer
+from ..transforms.factorization import ShearWarpFactorization
+from ..volume.classify import TransferFunction
+from ..volume.rle import RLEVolume, encode_all_axes
+from ..volume.volume import ClassifiedVolume
+
+__all__ = [
+    "TimeVaryingVolume",
+    "TimeVaryingRenderer",
+    "beating_heart_renderer",
+]
+
+#: Full-resolution grid of the ``beating_heart`` phantom; ``scale``
+#: shrinks it linearly (floor 8 per axis).
+_HEART_BASE_SHAPE = (48, 48, 32)
+
+
+def beating_heart_renderer(
+    scale: float = 1.0,
+    timesteps: int = 4,
+    tf: TransferFunction | None = None,
+) -> "TimeVaryingRenderer":
+    """The standard time-varying workload, shared by the CLI ``--movie``
+    path, the serve ``movie`` op and the movie benchmark/CI jobs —
+    all build the renderer here so their frames byte-compare.
+    """
+    from ..datasets import beating_heart
+    from ..volume.classify import mri_transfer_function
+
+    shape = tuple(
+        max(8, int(round(d * float(scale)))) for d in _HEART_BASE_SHAPE
+    )
+    volumes = beating_heart(shape, timesteps=timesteps)
+    return TimeVaryingRenderer(
+        volumes, tf if tf is not None else mri_transfer_function()
+    )
+
+
+class TimeVaryingVolume:
+    """A volume sequence classified and RLE-encoded per timestep.
+
+    Parameters
+    ----------
+    volumes:
+        Sequence of ``uint8`` volumes, one per timestep, all the same
+        shape (the factorization, and therefore the pools' shared-image
+        capacity, depends only on the shape).
+    tf:
+        One transfer function applied to every timestep.
+    """
+
+    def __init__(self, volumes, tf: TransferFunction) -> None:
+        volumes = [np.asarray(v) for v in volumes]
+        if not volumes:
+            raise ValueError("need at least one timestep")
+        shape = volumes[0].shape
+        for t, v in enumerate(volumes):
+            if v.shape != shape:
+                raise ValueError(
+                    f"timestep {t} has shape {v.shape}, timestep 0 has {shape}"
+                )
+        self.classified: list[ClassifiedVolume] = [
+            ClassifiedVolume.classify(v, tf) for v in volumes
+        ]
+        self.encodings: list[dict[int, RLEVolume]] = [
+            encode_all_axes(cv) for cv in self.classified
+        ]
+
+    @property
+    def n_timesteps(self) -> int:
+        return len(self.encodings)
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return self.classified[0].shape
+
+
+class TimeVaryingRenderer(ShearWarpRenderer):
+    """A :class:`ShearWarpRenderer` whose volume changes with time.
+
+    Drop-in for the static renderer everywhere (pools, planners, the
+    serial reference): ``rle_for(fact, timestep=t)`` selects timestep
+    ``t``'s encoding (``None`` and out-of-range values wrap modulo the
+    timestep count, so an endless rotation movie can just pass the
+    frame index).  The slice-cache invalidation of the base class's
+    axis switches extends to the ``(timestep, axis)`` pair — see the
+    module docstring.
+    """
+
+    def __init__(self, volumes, tf: TransferFunction | None = None) -> None:
+        if isinstance(volumes, TimeVaryingVolume):
+            tvv = volumes
+        else:
+            if tf is None:
+                raise TypeError("tf is required when passing raw volumes")
+            tvv = TimeVaryingVolume(volumes, tf)
+        self.timeline = tvv
+        # Base-class state, pointed at timestep 0 so every static-path
+        # consumer (shape, factorize_view, plain render calls) works.
+        self.classified = tvv.classified[0]
+        self.rle_by_axis = tvv.encodings[0]
+        self._last_axis: int | None = None
+        self._last_step: int | None = None
+        #: Observability: how many times the active encoding changed
+        #: because the *timestep* moved (axis-only switches not counted).
+        self.timestep_switches = 0
+
+    @property
+    def n_timesteps(self) -> int:
+        return self.timeline.n_timesteps
+
+    def rle_for(self, fact: ShearWarpFactorization,
+                timestep: int | None = None) -> RLEVolume:
+        """The active encoding for ``(timestep, fact.axis)``.
+
+        Reuses the axis-switch invalidation machinery for timestep
+        switches: whenever either coordinate moves, the encoding just
+        left behind drops its decoded-slice cache (stats survive, so
+        hit/miss counters stay consistent across switches).
+        """
+        step = 0 if timestep is None else int(timestep) % self.n_timesteps
+        if self._last_axis is not None and (
+            self._last_axis != fact.axis or self._last_step != step
+        ):
+            self.timeline.encodings[self._last_step][
+                self._last_axis
+            ].clear_slice_cache()
+            if self._last_step != step:
+                self.timestep_switches += 1
+        self._last_axis = fact.axis
+        self._last_step = step
+        self.rle_by_axis = self.timeline.encodings[step]
+        return self.rle_by_axis[fact.axis]

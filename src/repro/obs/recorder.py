@@ -54,7 +54,7 @@ __all__ = [
 #: the shard service (recorded on the service's own final track).  New
 #: phases are appended last so existing phase ids stay stable.
 PHASES = ("wait", "decode", "composite", "profile", "steal", "barrier", "warp",
-          "recover", "dispatch", "doorbell", "merge")
+          "recover", "dispatch", "doorbell", "merge", "encode")
 
 #: Counter names.  ``steals``/``steal_rows`` count successful chunk
 #: steals and the scanlines they moved — recorded by the MP pool's

@@ -1,5 +1,6 @@
 """Execution models: event-driven logical processors and multiprocessing."""
 
+from .backend import BackendCapabilities, FrameSpec, RenderBackend, as_frame_specs
 from .execution import FrameReport, PhaseReport, simulate_animation, simulate_frame
 from .mp_backend import (
     FrameFailed,
@@ -17,6 +18,10 @@ from .scheduler import ProcSchedule, ScheduleResult, Unit, schedule
 from .thread_backend import ThreadRenderPool, render_parallel_threads
 
 __all__ = [
+    "RenderBackend",
+    "BackendCapabilities",
+    "FrameSpec",
+    "as_frame_specs",
     "FrameReport",
     "PhaseReport",
     "simulate_frame",

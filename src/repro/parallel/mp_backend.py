@@ -122,6 +122,7 @@ import queue as queue_mod
 import signal
 import threading
 import time
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
@@ -156,6 +157,7 @@ from ..render.warp import (
     warp_scanline,
 )
 from ..transforms.factorization import PERMUTATIONS, ShearWarpFactorization
+from .backend import BackendCapabilities, FrameSpec, as_frame_specs
 
 __all__ = [
     "FrameRegion",
@@ -362,6 +364,25 @@ class PoolConfig:
 _LEGACY_FIELDS = tuple(f.name for f in dataclasses.fields(PoolConfig))
 
 
+def _warn_legacy(given: dict) -> None:
+    """Deprecation notice for the pre-``PoolConfig`` keyword shim.
+
+    The individual pool kwargs (``n_procs=...``, ``stealing=...``, ...)
+    predate :class:`PoolConfig` and will be removed in 2.0 (see the
+    README's deprecation timeline).  ``repro.open_pool(**overrides)``
+    stays — it builds a :class:`PoolConfig` internally and is the
+    blessed facade path.
+    """
+    warnings.warn(
+        "passing individual pool kwargs "
+        f"({', '.join(sorted(given))}) is deprecated and will be removed "
+        "in 2.0; build a PoolConfig and pass config=PoolConfig(...) "
+        "instead (or use repro.open_pool)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def _config_from(config: PoolConfig | None, legacy: dict) -> PoolConfig:
     """Build the effective config from ``config=`` or legacy kwargs."""
     given = {k: v for k, v in legacy.items() if v is not None}
@@ -372,6 +393,8 @@ def _config_from(config: PoolConfig | None, legacy: dict) -> PoolConfig:
                 f"(got config and {sorted(given)})"
             )
         return config
+    if given:
+        _warn_legacy(given)
     return PoolConfig(**given)
 
 
@@ -500,13 +523,21 @@ class FramePlanner:
         self._last_part_key: tuple[int, tuple[int, int, int]] | None = None
 
     def plan(self, view: np.ndarray, inter_cap=None, final_cap=None,
-             region: FrameRegion | None = None) -> dict:
+             region: FrameRegion | None = None,
+             timestep: int | None = None) -> dict:
         """Everything needed to dispatch one frame (deterministic).
 
         ``region`` (shard mode) clamps the composite band to the shard's
         ``[comp_lo, comp_hi)`` and masks warp ownership to the shard's
         owned lines; the rest of the plan — partitioning, profiling,
         warp-row assignment — runs unchanged inside that restriction.
+
+        ``timestep`` selects a time-varying renderer's encoding (static
+        renderers ignore it).  Note the profile validity key stays
+        ``(axis, perm)``: the §4.2 loop *predicts* the next frame's cost
+        from the last measured frame's, and a moving volume is exactly
+        the drift that prediction is supposed to absorb — so a timestep
+        switch does not invalidate the profile, it stresses it.
         """
         fact = self.renderer.factorize_view(view)
         n_v, n_u = fact.intermediate_shape
@@ -518,7 +549,7 @@ class FramePlanner:
                 f"frame shapes {(n_v, n_u)}/{(ny, nx)} exceed pool capacity "
                 f"{inter_cap}/{final_cap} — is the view matrix scaled?"
             )
-        rle = self.renderer.rle_for(fact)
+        rle = self.renderer.rle_for(fact, timestep=timestep)
         v_lo, v_hi = nonempty_scanline_bounds(rle, fact)
         if region is not None:
             v_lo = max(v_lo, int(region.comp_lo))
@@ -562,6 +593,7 @@ class FramePlanner:
         return {
             "fact": fact,
             "view": np.array(view, dtype=np.float64, copy=True),
+            "timestep": timestep,
             "profiled": profiled,
             "v_lo": v_lo,
             "v_hi": v_hi,
@@ -934,7 +966,7 @@ def _render_job(pid, job, renderer, kernel, done, barrier, shm_i, shm_f,
                 steal_chunk, claim_locks, buffers, claims, cells, release,
                 use_doorbell, bell, burn_per_row, fault, rec, t_wait0) -> None:
     """Run one frame's composite + warp and report completion."""
-    frame, buf, fact, v_lo, v_hi, owner, warp_rows, profiled = job
+    frame, buf, fact, v_lo, v_hi, owner, warp_rows, profiled, timestep = job
     if rec is not None:
         rec.span(frame, "wait", t_wait0, rec.now())
     # Pipelining gate: frame f may enter buffer f % buffers only once
@@ -974,7 +1006,7 @@ def _render_job(pid, job, renderer, kernel, done, barrier, shm_i, shm_f,
             _maybe_fault(fault, pid, frame, "decode")
             if rec is not None:
                 td0 = rec.now()
-            rle = renderer.rle_for(fact)
+            rle = renderer.rle_for(fact, timestep=timestep)
             if rec is not None:
                 tc0 = rec.now()
                 rec.span(frame, "decode", td0, tc0)
@@ -1374,15 +1406,27 @@ class MPRenderPool:
 
     # -- frame lifecycle -----------------------------------------------------
 
+    @property
+    def capabilities(self) -> BackendCapabilities:
+        """What this pool can do (the :class:`RenderBackend` struct)."""
+        return BackendCapabilities(
+            trace=self.trace,
+            steal=self._steal_active,
+            profile=self.profile_period > 0,
+            shard=False,
+        )
+
     def submit(self, view: np.ndarray,
-               region: FrameRegion | None = None) -> int:
+               region: FrameRegion | None = None,
+               timestep: int | None = None) -> int:
         """Dispatch one frame to the workers; returns its frame id.
 
         Blocks only if every buffer is still occupied by an unfinished
         frame (with ``buffers=2`` that means two frames behind).  The
         partition is profile-balanced whenever a valid profile from an
         earlier frame exists, uniform otherwise.  ``region`` restricts
-        the frame to one shard's band (see :class:`FrameRegion`).
+        the frame to one shard's band (see :class:`FrameRegion`);
+        ``timestep`` selects a time-varying renderer's encoding.
         Raises :class:`PoolClosed` / :class:`PoolUnrecoverable` on a
         pool that can no longer accept work.
         """
@@ -1390,7 +1434,7 @@ class MPRenderPool:
             self._raise_if_unusable()
             t_d0 = self._sup_rec.now() if self._sup_rec is not None else 0.0
             plan = self._planner.plan(view, self.inter_cap, self.final_cap,
-                                      region=region)
+                                      region=region, timestep=timestep)
             self._sample_gauges_locked()
             # Everything fallible is done — only now wait for a buffer
             # and claim a frame id, so a failed submit leaves no
@@ -1407,8 +1451,15 @@ class MPRenderPool:
                 self._sup_rec.span(frame, "dispatch", t_d0, self._sup_rec.now())
             return frame
 
-    def submit_batch(self, views, regions=None) -> list[int]:
+    def submit_batch(self, frame_specs, regions=None) -> list[int]:
         """Dispatch a whole animation in one queue round-trip per worker.
+
+        ``frame_specs`` is a sequence of bare views and/or
+        :class:`~repro.parallel.backend.FrameSpec` items (the
+        :class:`RenderBackend` batch form, which carries per-frame
+        timesteps and regions); ``regions`` (parallel list) is the
+        pre-protocol way to restrict frames to shard bands and is still
+        accepted — a spec's own ``region`` wins where both are given.
 
         Every frame is planned up front — the profile feedback loop
         still advances frame to frame, and planning is deterministic, so
@@ -1429,19 +1480,21 @@ class MPRenderPool:
         never change pixels (only which worker composites which rows),
         so batched output stays bit-identical to per-frame submission.
         """
-        views = list(views)
+        specs = as_frame_specs(frame_specs)
         if regions is None:
-            regions = [None] * len(views)
+            regions = [None] * len(specs)
         with self._cond:
             self._raise_if_unusable()
-            if not views:
+            if not specs:
                 return []
             t_d0 = self._sup_rec.now() if self._sup_rec is not None else 0.0
             frames: list[int] = []
             per_worker: list[list[tuple]] = [[] for _ in range(self.n_procs)]
-            for view, region in zip(views, regions):
-                plan = self._planner.plan(view, self.inter_cap, self.final_cap,
-                                          region=region)
+            for spec, region in zip(specs, regions):
+                plan = self._planner.plan(spec.view, self.inter_cap,
+                                          self.final_cap,
+                                          region=spec.region or region,
+                                          timestep=spec.timestep)
                 frame = self._claim_frame_locked(plan, batched=True)
                 jobs = self._prepare_dispatch_locked(frame)
                 for pid in range(self.n_procs):
@@ -1468,9 +1521,13 @@ class MPRenderPool:
         """
         if self.config.pipeline:
             return [self.result(f) for f in self.submit_batch(views, regions)]
+        specs = as_frame_specs(views)
         if regions is None:
-            regions = [None] * len(views)
-        handles = [self.submit(v, r) for v, r in zip(views, regions)]
+            regions = [None] * len(specs)
+        handles = [
+            self.submit(s.view, s.region or r, timestep=s.timestep)
+            for s, r in zip(specs, regions)
+        ]
         return [self.result(h) for h in handles]
 
     def _claim_frame_locked(self, plan: dict, batched: bool) -> int:
@@ -1574,6 +1631,7 @@ class MPRenderPool:
                 rec["owner"],
                 rec["rows_by_pid"][pid],
                 rec["profiled"],
+                rec.get("timestep"),
             )
             for pid in range(self.n_procs)
         ]
@@ -1859,7 +1917,8 @@ class MPRenderPool:
         rec = self._inflight.pop(frame)
         self._retire_buffer_locked(frame, rec)
         try:
-            res = render_fast(self.renderer, rec["view"])
+            res = render_fast(self.renderer, rec["view"],
+                              timestep=rec.get("timestep"))
         except Exception as exc:  # noqa: BLE001 - surface, don't hang
             self._failed[frame] = FrameFailed(
                 f"degraded serial render of frame {frame} failed: "
@@ -2271,6 +2330,8 @@ def render_parallel_mp(
     }
     if config is None:
         given = {k: v for k, v in legacy.items() if v is not None}
+        if given:
+            _warn_legacy(given)
         given.setdefault("profile_period", 0)
         config = PoolConfig(buffers=1, **given)
     else:

@@ -68,6 +68,7 @@ from ..render.image import FinalImage, IntermediateImage
 from ..render.serial import ShearWarpRenderer
 from ..render.warp import warp_coeffs, warp_scanline
 from . import mp_backend as _mpb
+from .backend import BackendCapabilities, as_frame_specs
 from .mp_backend import (
     FrameFailed,
     FramePlanner,
@@ -82,6 +83,7 @@ from .mp_backend import (
     _composite_range,
     _config_from,
     _steal_chunk,
+    _warn_legacy,
 )
 
 __all__ = ["ThreadRenderPool", "render_parallel_threads"]
@@ -168,15 +170,27 @@ class ThreadRenderPool:
 
     # -- frame lifecycle -----------------------------------------------------
 
-    def submit(self, view: np.ndarray, region=None) -> int:
+    @property
+    def capabilities(self) -> BackendCapabilities:
+        """What this pool can do (the :class:`RenderBackend` struct)."""
+        return BackendCapabilities(
+            trace=self.trace,
+            steal=self._steal_active,
+            profile=self.profile_period > 0,
+            shard=False,
+        )
+
+    def submit(self, view: np.ndarray, region=None,
+               timestep: int | None = None) -> int:
         """Dispatch one frame; returns its frame id (never blocks —
         per-frame images mean there is no buffer to wait for).
         ``region`` restricts the frame to one shard's band (see
-        :class:`~repro.parallel.mp_backend.FrameRegion`)."""
+        :class:`~repro.parallel.mp_backend.FrameRegion`); ``timestep``
+        selects a time-varying renderer's encoding."""
         with self._cond:
             self._raise_if_unusable()
             t_d0 = self._sup_rec.now() if self._sup_rec is not None else 0.0
-            plan = self._planner.plan(view, region=region)
+            plan = self._planner.plan(view, region=region, timestep=timestep)
             frame = self._claim_frame_locked(plan, batched=False)
             self._dispatch_locked(frame)
             self._sample_gauges_locked()
@@ -184,24 +198,29 @@ class ThreadRenderPool:
                 self._sup_rec.span(frame, "dispatch", t_d0, self._sup_rec.now())
             return frame
 
-    def submit_batch(self, views, regions=None) -> list[int]:
+    def submit_batch(self, frame_specs, regions=None) -> list[int]:
         """Dispatch a whole animation in one queue message per worker.
 
-        Planning is sequential and deterministic exactly as in the MP
-        pool (the profile feedback loop crosses batch boundaries), so
-        batched output is bit-identical to per-frame submission.
+        ``frame_specs`` accepts bare views and/or
+        :class:`~repro.parallel.backend.FrameSpec` items (the
+        :class:`RenderBackend` batch form).  Planning is sequential and
+        deterministic exactly as in the MP pool (the profile feedback
+        loop crosses batch boundaries), so batched output is
+        bit-identical to per-frame submission.
         """
-        views = list(views)
+        specs = as_frame_specs(frame_specs)
         if regions is None:
-            regions = [None] * len(views)
+            regions = [None] * len(specs)
         with self._cond:
             self._raise_if_unusable()
-            if not views:
+            if not specs:
                 return []
             t_d0 = self._sup_rec.now() if self._sup_rec is not None else 0.0
             frames = []
-            for view, region in zip(views, regions):
-                plan = self._planner.plan(view, region=region)
+            for spec, region in zip(specs, regions):
+                plan = self._planner.plan(spec.view,
+                                          region=spec.region or region,
+                                          timestep=spec.timestep)
                 frame = self._claim_frame_locked(plan, batched=True)
                 self._prepare_frame_locked(frame)
                 frames.append(frame)
@@ -218,9 +237,13 @@ class ThreadRenderPool:
         """Render a sequence of views, returning results in order."""
         if self.config.pipeline:
             return [self.result(f) for f in self.submit_batch(views, regions)]
+        specs = as_frame_specs(views)
         if regions is None:
-            regions = [None] * len(views)
-        handles = [self.submit(v, r) for v, r in zip(views, regions)]
+            regions = [None] * len(specs)
+        handles = [
+            self.submit(s.view, s.region or r, timestep=s.timestep)
+            for s, r in zip(specs, regions)
+        ]
         return [self.result(h) for h in handles]
 
     def render(self, view: np.ndarray) -> MPRenderResult:
@@ -356,7 +379,7 @@ class ThreadRenderPool:
             try:
                 if rec_tr is not None:
                     td0 = rec_tr.now()
-                rle = self.renderer.rle_for(fact)
+                rle = self.renderer.rle_for(fact, timestep=rec.get("timestep"))
                 if rec_tr is not None:
                     tc0 = rec_tr.now()
                     rec_tr.span(frame, "decode", td0, tc0)
@@ -506,7 +529,8 @@ class ThreadRenderPool:
     def _degrade_locked(self, frame: int) -> None:
         rec = self._inflight.pop(frame)
         try:
-            res = render_fast(self.renderer, rec["view"])
+            res = render_fast(self.renderer, rec["view"],
+                              timestep=rec.get("timestep"))
         except Exception as exc:  # noqa: BLE001
             self._failed[frame] = FrameFailed(
                 f"degraded serial render of frame {frame} failed: "
@@ -620,6 +644,9 @@ def render_parallel_threads(
     """Render one frame with a transient thread pool (convenience
     mirror of :func:`~repro.parallel.mp_backend.render_parallel_mp`)."""
     if config is None:
+        given = {k: v for k, v in legacy.items() if v is not None}
+        if given:
+            _warn_legacy(given)
         legacy.setdefault("profile_period", 0)
         config = PoolConfig(**legacy)
     else:

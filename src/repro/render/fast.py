@@ -77,17 +77,19 @@ def render_fast(
     view: np.ndarray,
     recorder=None,
     obs_frame: int = 0,
+    timestep: int | None = None,
 ) -> RenderResult:
     """Render one frame through the vectorized path.
 
     ``recorder`` (a :class:`repro.obs.SpanRecorder`) captures wall-clock
     decode/composite/warp spans for frame id ``obs_frame``; ``None``
-    (the default) records nothing.
+    (the default) records nothing.  ``timestep`` selects the encoding of
+    a time-varying renderer and is ignored by static ones.
     """
     fact = renderer.factorize_view(view)
     if recorder is not None:
         t0 = recorder.now()
-    rle = renderer.rle_for(fact)
+    rle = renderer.rle_for(fact, timestep=timestep)
     img = IntermediateImage(fact.intermediate_shape)
     if recorder is not None:
         t1 = recorder.now()

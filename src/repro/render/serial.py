@@ -75,13 +75,19 @@ class ShearWarpRenderer:
         """Convenience: build a centred rotation view matrix."""
         return matrices.view_matrix(rot_x, rot_y, rot_z, self.shape)
 
-    def rle_for(self, fact: ShearWarpFactorization) -> RLEVolume:
+    def rle_for(self, fact: ShearWarpFactorization, timestep: int | None = None) -> RLEVolume:
         """Pick the run-length encoding matching a factorization's axis.
 
         When an animation's rotation crosses a principal-axis boundary,
         the encoding just left behind won't be sampled again soon — its
         decoded-slice cache is dropped so only the active axis holds
         decoded planes in memory.
+
+        ``timestep`` is accepted (and ignored) so static and
+        time-varying renderers share one call signature: a static volume
+        is the same volume at every timestep.  Time-varying subclasses
+        (:class:`repro.movie.TimeVaryingRenderer`) extend the same
+        axis-switch invalidation to timestep switches.
         """
         if self._last_axis is not None and self._last_axis != fact.axis:
             self.rle_by_axis[self._last_axis].clear_slice_cache()
@@ -96,6 +102,7 @@ class ShearWarpRenderer:
         restrict_bounds: bool = False,
         recorder=None,
         obs_frame: int = 0,
+        timestep: int | None = None,
     ) -> RenderResult:
         """Render one frame from viewing matrix ``view``.
 
@@ -113,7 +120,7 @@ class ShearWarpRenderer:
         fact = self.factorize_view(view)
         if recorder is not None:
             t0 = recorder.now()
-        rle = self.rle_for(fact)
+        rle = self.rle_for(fact, timestep=timestep)
         img = IntermediateImage(fact.intermediate_shape)
         if recorder is not None:
             t1 = recorder.now()

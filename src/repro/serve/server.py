@@ -71,6 +71,10 @@ __all__ = ["ServeConfig", "RenderServer", "run_server"]
 #: them apart from Chrome traces.
 SNAPSHOT_KIND = "repro-metrics"
 
+#: Timesteps baked into the ``beating_heart`` renderer the default
+#: factory builds; ``movie`` requests with more frames wrap around it.
+DEFAULT_MOVIE_TIMESTEPS = 4
+
 
 @dataclass(frozen=True)
 class ServeConfig:
@@ -158,6 +162,14 @@ def _default_renderer_factory(dataset: str, scale: float, classification):
         tf = binary_transfer_function(*[float(x) for x in classification[1:]])
     else:
         raise ValueError(f"unknown classification spec {classification!r}")
+    if dataset == "beating_heart":
+        # The time-varying phantom: ``scale`` shrinks the base grid
+        # linearly (it is not in the paper-dataset registry).
+        from ..movie import beating_heart_renderer
+
+        return beating_heart_renderer(
+            float(scale), timesteps=DEFAULT_MOVIE_TIMESTEPS, tf=tf
+        )
     return ShearWarpRenderer(load(dataset, float(scale)), tf)
 
 
@@ -323,6 +335,11 @@ class RenderServer:
                 if n < 1:
                     raise ValueError("animate needs frames >= 1")
                 return await self._handle_render(msg, n_frames=n)
+            if op == "movie":
+                n = int(msg.get("frames", 0))
+                if n < 1:
+                    raise ValueError("movie needs frames >= 1")
+                return await self._handle_render(msg, n_frames=n, movie=True)
             raise ValueError(f"unknown op {op!r}")
         except MPPoolError as exc:
             # Typed serve/pool errors keep their class name on the wire
@@ -333,7 +350,9 @@ class RenderServer:
             return {"status": "error", "error": type(exc).__name__,
                     "detail": str(exc)}
 
-    def _identities(self, msg: dict, n_frames: int) -> list[dict]:
+    def _identities(
+        self, msg: dict, n_frames: int, movie: bool = False
+    ) -> list[dict]:
         cfg = self.config
         dataset = str(msg.get("dataset", cfg.default_dataset))
         scale = float(msg.get("scale", cfg.default_scale))
@@ -343,18 +362,37 @@ class RenderServer:
         ry = float(msg.get("ry", 30.0))
         rz = float(msg.get("rz", 0.0))
         step = float(msg.get("ry_step", 3.0))
+        if movie:
+            # A movie frame's identity carries its timestep as a 4th
+            # view element, so the cache/coalescing machinery keys on it
+            # and timestep t at angle a never aliases timestep t' at a.
+            timesteps = int(msg.get("timesteps", DEFAULT_MOVIE_TIMESTEPS))
+            if timesteps < 1:
+                raise ValueError("movie needs timesteps >= 1")
+            return [
+                canonical_identity(dataset, scale, cls_spec,
+                                   (rx, ry + i * step, rz, i % timesteps),
+                                   kernel)
+                for i in range(n_frames)
+            ]
         return [
             canonical_identity(dataset, scale, cls_spec,
                                (rx, ry + i * step, rz), kernel)
             for i in range(n_frames)
         ]
 
-    async def _handle_render(self, msg: dict, n_frames: int) -> dict:
+    async def _handle_render(
+        self, msg: dict, n_frames: int, movie: bool = False
+    ) -> dict:
         t0 = time.perf_counter()
-        identities = self._identities(msg, n_frames)
+        identities = self._identities(msg, n_frames, movie=movie)
         keys = [request_key(i) for i in identities]
         frames, cached, coalesced = await self._resolve(identities, keys)
         elapsed = time.perf_counter() - t0
+        if movie:
+            # Every movie frame leaves this server wire-encoded, whether
+            # it was freshly rendered or served from the cache.
+            self.metrics.counter("movie/frames_encoded").inc(len(frames))
         self.metrics.histogram("serve/latency_s").observe(elapsed)
         client = str(msg.get("client", "anon"))
         self.metrics.histogram(f"serve/latency_s/{client}").observe(elapsed)
@@ -510,16 +548,27 @@ class RenderServer:
 
     @staticmethod
     def _pool_render(pool, views) -> list[tuple[np.ndarray, np.ndarray]]:
-        """Default render path (runs on the pool's executor thread)."""
+        """Default render path (runs on the pool's executor thread).
+
+        Drives the pool purely through the :class:`~repro.parallel.
+        backend.RenderBackend` protocol (``submit_batch`` / ``result``),
+        so mp pools, thread pools and shard fleets are interchangeable
+        here.  A view is ``(rx, ry, rz)`` angles, optionally followed by
+        a timestep (the ``movie`` op's 4th identity element).
+        """
         import numpy as _np
 
-        def angles(v):
-            return pool.renderer.view_from_angles(*v)
+        from ..parallel.backend import FrameSpec
 
-        if len(views) == 1:
-            results = [pool.render(angles(views[0]))]
-        else:
-            results = pool.render_animation([angles(v) for v in views])
+        def spec(v):
+            timestep = int(v[3]) if len(v) > 3 else None
+            return FrameSpec(
+                view=pool.renderer.view_from_angles(*v[:3]),
+                timestep=timestep,
+            )
+
+        ids = pool.submit_batch([spec(v) for v in views])
+        results = [pool.result(fid) for fid in ids]
         return [
             (_np.array(r.final.color), _np.array(r.final.alpha))
             for r in results

@@ -45,6 +45,7 @@ from ..obs.recorder import RingReader, SpanRecorder
 from ..obs.timeline import FrameTimeline
 from ..obs.timeline import export_chrome_trace as _export_chrome_trace
 from ..parallel import mp_backend as _mpb
+from ..parallel.backend import BackendCapabilities, as_frame_specs
 from ..parallel.mp_backend import (
     FrameRegion,
     MPRenderPool,
@@ -124,11 +125,17 @@ class ShardPlanner:
         self._last_bounds: np.ndarray | None = None
         self._last_key: tuple[int, tuple[int, int, int]] | None = None
 
-    def plan(self, view: np.ndarray) -> dict:
-        """Shard boundaries, per-shard regions, and the pixel-owner map."""
+    def plan(self, view: np.ndarray, timestep: int | None = None) -> dict:
+        """Shard boundaries, per-shard regions, and the pixel-owner map.
+
+        ``timestep`` selects a time-varying renderer's encoding; like
+        the pool-level planner, the shard profile's validity key stays
+        ``(axis, perm)`` so cross-shard feedback predicts across
+        timestep switches too.
+        """
         fact = self.renderer.factorize_view(view)
         n_v, _ = fact.intermediate_shape
-        rle = self.renderer.rle_for(fact)
+        rle = self.renderer.rle_for(fact, timestep=timestep)
         v_lo, v_hi = nonempty_scanline_bounds(rle, fact)
         key = (fact.axis, fact.perm)
         if self.profile is not None and self.profile_key != key:
@@ -239,6 +246,11 @@ class ShardedRenderService:
         self.metrics.gauge("shard/shards").set(self.n_shards)
         self._planner = ShardPlanner(renderer, self.n_shards, self.metrics)
         self._frame = 0
+        # RenderBackend submit/result bookkeeping: queued specs render
+        # lazily, in id order, when result() first needs them.
+        self._next_submit = 0
+        self._queued: dict[int, tuple[np.ndarray, int | None]] = {}
+        self._ready: dict[int, MPRenderResult] = {}
 
         self.trace = any(
             scfg.pool_config(s).trace for s in range(self.n_shards)
@@ -297,28 +309,86 @@ class ShardedRenderService:
         finally:
             _mpb._TEST_ROW_DELAY = saved
 
-    def render(self, view: np.ndarray) -> MPRenderResult:
+    @property
+    def capabilities(self) -> BackendCapabilities:
+        """What the fleet can do (the :class:`RenderBackend` struct)."""
+        return BackendCapabilities(
+            trace=self.trace,
+            steal=self.config.stealing and self.config.n_procs > 1,
+            profile=self.config.profile_period > 0,
+            shard=self.n_shards > 1,
+        )
+
+    def render(self, view: np.ndarray,
+               timestep: int | None = None) -> MPRenderResult:
         """Render one frame across all shards and merge it."""
-        return self._render_one(np.asarray(view, dtype=np.float64))
+        return self._render_one(np.asarray(view, dtype=np.float64),
+                                timestep=timestep)
+
+    def submit(self, view: np.ndarray, region=None,
+               timestep: int | None = None) -> int:
+        """Queue one frame; returns its frame id (RenderBackend form).
+
+        The service assigns each pool its own shard region, so a
+        caller-supplied ``region`` is rejected.  Queued frames render
+        *lazily and in id order* when :meth:`result` first needs them:
+        the per-frame gather is what lets the service stitch a
+        cross-shard profile and re-shard before the next frame, so
+        out-of-order rendering would change the feedback sequence (and
+        only that — pixels are partition-independent either way).
+        """
+        if region is not None:
+            raise ValueError(
+                "ShardedRenderService assigns shard regions itself; "
+                "submit() does not accept a region"
+            )
+        frame_id = self._next_submit
+        self._next_submit += 1
+        self._queued[frame_id] = (
+            np.asarray(view, dtype=np.float64), timestep
+        )
+        return frame_id
+
+    def submit_batch(self, frame_specs, regions=None) -> list[int]:
+        """Queue a batch of views / FrameSpecs; returns their frame ids."""
+        specs = as_frame_specs(frame_specs)
+        if regions is None:
+            regions = [None] * len(specs)
+        return [
+            self.submit(s.view, s.region or r, timestep=s.timestep)
+            for s, r in zip(specs, regions)
+        ]
+
+    def result(self, frame_id: int) -> MPRenderResult:
+        """Render every queued frame up to ``frame_id`` (in id order)
+        and return ``frame_id``'s merged result."""
+        if frame_id in self._ready:
+            return self._ready.pop(frame_id)
+        if frame_id not in self._queued:
+            raise KeyError(f"unknown frame {frame_id}")
+        for fid in sorted(f for f in self._queued if f <= frame_id):
+            view, timestep = self._queued.pop(fid)
+            self._ready[fid] = self._render_one(view, timestep=timestep)
+        return self._ready.pop(frame_id)
 
     def render_animation(self, views) -> list[MPRenderResult]:
         """Render a view sequence in lockstep across the shard fleet.
 
-        Frames are rendered one at a time on purpose: the per-frame
-        gather is what lets the service stitch a cross-shard profile and
-        re-shard before the next frame — the shard-level analogue of the
-        pools' own frame-to-frame feedback.
+        Goes through the :class:`RenderBackend` submit/result pair;
+        frames still render one at a time (see :meth:`submit`) so the
+        shard-level feedback loop is preserved.
         """
-        return [self._render_one(np.asarray(v, dtype=np.float64)) for v in views]
+        return [self.result(f) for f in self.submit_batch(views)]
 
-    def _render_one(self, view: np.ndarray) -> MPRenderResult:
+    def _render_one(self, view: np.ndarray,
+                    timestep: int | None = None) -> MPRenderResult:
         frame = self._frame
         self._frame += 1
-        splan = self._planner.plan(view)
+        splan = self._planner.plan(view, timestep=timestep)
         # Scatter: every pool gets the same view, restricted to its
         # shard's region; pools run their workers concurrently.
         handles = [
-            pool.submit(view, region=splan["regions"][s])
+            pool.submit(view, region=splan["regions"][s], timestep=timestep)
             for s, pool in enumerate(self._pools)
         ]
         results = [

@@ -1,0 +1,153 @@
+"""Tests for the :class:`RenderBackend` protocol (ROADMAP item 5).
+
+Every execution model — mp pool, thread pool, shard fleet — must be
+drivable through the same four-member seam (``submit_batch`` /
+``result`` / ``close`` / ``capabilities``), and the legacy per-call
+kwargs shim must steer callers to :class:`PoolConfig` with a
+``DeprecationWarning`` without changing behavior.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.datasets import mri_brain
+from repro.parallel import (
+    BackendCapabilities,
+    FrameSpec,
+    MPRenderPool,
+    PoolConfig,
+    RenderBackend,
+    ThreadRenderPool,
+    as_frame_specs,
+    render_parallel_mp,
+    render_parallel_threads,
+)
+from repro.render import ShearWarpRenderer
+from repro.shard import ShardedRenderService
+from repro.volume import mri_transfer_function
+
+
+@pytest.fixture(scope="module")
+def renderer():
+    return ShearWarpRenderer(mri_brain((20, 20, 16)), mri_transfer_function())
+
+
+def _views(renderer, n):
+    return [renderer.view_from_angles(20, 30 + 3 * i, 0) for i in range(n)]
+
+
+POOL_SHAPES = [
+    pytest.param(dict(n_procs=2, backend="thread", profile_period=0),
+                 id="thread"),
+    pytest.param(dict(n_procs=2, profile_period=0), id="mp"),
+    pytest.param(dict(n_procs=1, shards=2, profile_period=0), id="shard"),
+]
+
+
+class TestProtocolConformance:
+    @pytest.mark.parametrize("overrides", POOL_SHAPES)
+    def test_isinstance_and_capabilities(self, renderer, overrides):
+        with repro.open_pool(renderer, **overrides) as pool:
+            assert isinstance(pool, RenderBackend)
+            caps = pool.capabilities
+            assert isinstance(caps, BackendCapabilities)
+            assert caps.trace is False and caps.profile is False
+            assert caps.shard is (overrides.get("shards", 1) > 1)
+
+    def test_capabilities_reflect_config(self, renderer):
+        cfg = PoolConfig(n_procs=2, backend="thread", trace=True,
+                         profile_period=3, stealing=True)
+        with repro.open_pool(renderer, config=cfg) as pool:
+            caps = pool.capabilities
+            assert caps.trace and caps.profile and caps.steal
+            assert not caps.shard
+
+    @pytest.mark.parametrize("overrides", POOL_SHAPES)
+    def test_submit_batch_result_roundtrip(self, renderer, overrides):
+        views = _views(renderer, 3)
+        specs = [FrameSpec(view=v) for v in views]
+        with repro.open_pool(renderer, **overrides) as pool:
+            ids = pool.submit_batch(specs)
+            assert len(ids) == len(specs)
+            # Out-of-order collection is part of the contract.
+            results = {f: pool.result(f) for f in reversed(ids)}
+        for view, fid in zip(views, ids):
+            ref = renderer.render(view)
+            assert np.array_equal(results[fid].final.color, ref.final.color)
+
+    @pytest.mark.parametrize("overrides", POOL_SHAPES)
+    def test_bare_views_accepted(self, renderer, overrides):
+        """``as_frame_specs`` wraps naked views, so pre-protocol call
+        sites keep working through the new seam."""
+        views = _views(renderer, 2)
+        with repro.open_pool(renderer, **overrides) as pool:
+            results = [pool.result(f) for f in pool.submit_batch(views)]
+        for view, res in zip(views, results):
+            ref = renderer.render(view)
+            assert np.array_equal(res.final.color, ref.final.color)
+
+    def test_as_frame_specs_passthrough(self, renderer):
+        view = renderer.view_from_angles(20, 30, 0)
+        spec = FrameSpec(view=view, timestep=2)
+        wrapped = as_frame_specs([spec, view])
+        assert wrapped[0] is spec
+        assert isinstance(wrapped[1], FrameSpec)
+        assert wrapped[1].timestep is None
+
+    def test_shard_service_rejects_caller_regions(self, renderer):
+        with repro.open_pool(renderer, n_procs=1, shards=2,
+                             profile_period=0) as svc:
+            assert isinstance(svc, ShardedRenderService)
+            with pytest.raises(ValueError):
+                svc.submit(renderer.view_from_angles(20, 30, 0),
+                           region=object())
+
+
+class TestLegacyKwargsDeprecation:
+    """Per-call pool kwargs warn and steer to PoolConfig — but still work."""
+
+    def test_mp_pool_ctor_kwargs_warn(self, renderer):
+        with pytest.warns(DeprecationWarning, match="PoolConfig"):
+            pool = MPRenderPool(renderer, n_procs=1, profile_period=0)
+        with pool:
+            pass
+
+    def test_thread_pool_ctor_kwargs_warn(self, renderer):
+        with pytest.warns(DeprecationWarning, match="PoolConfig"):
+            pool = ThreadRenderPool(renderer, n_procs=1, profile_period=0)
+        with pool:
+            pass
+
+    def test_render_parallel_fns_warn_and_match_config_path(self, renderer):
+        view = renderer.view_from_angles(20, 30, 0)
+        with pytest.warns(DeprecationWarning, match="PoolConfig"):
+            legacy = render_parallel_threads(renderer, view, n_procs=1)
+        cfg = PoolConfig(n_procs=1, profile_period=0)
+        modern = render_parallel_threads(renderer, view, config=cfg)
+        assert np.array_equal(legacy.final.color, modern.final.color)
+
+    def test_render_parallel_mp_warns(self, renderer):
+        view = renderer.view_from_angles(20, 30, 0)
+        with pytest.warns(DeprecationWarning, match="PoolConfig"):
+            res = render_parallel_mp(renderer, view, n_procs=1)
+        ref = renderer.render(view)
+        assert np.array_equal(res.final.color, ref.final.color)
+
+    def test_config_path_stays_silent(self, renderer):
+        cfg = PoolConfig(n_procs=1, backend="thread", profile_period=0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with repro.open_pool(renderer, config=cfg) as pool:
+                pool.result(pool.submit_batch(_views(renderer, 1))[0])
+
+    def test_open_pool_overrides_stay_silent(self, renderer):
+        """The facade's keyword overrides are the blessed path — they
+        build a PoolConfig directly and must never warn."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with repro.open_pool(renderer, n_procs=1, backend="thread",
+                                 profile_period=0) as pool:
+                pool.result(pool.submit_batch(_views(renderer, 1))[0])

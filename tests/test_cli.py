@@ -28,6 +28,33 @@ class TestCLI:
         assert main(["render", "--dataset", "mri128", "--scale", "0.12"]) == 0
         assert "final image" in capsys.readouterr().out
 
+    def test_render_movie(self, capsys, tmp_path):
+        """--movie writes a PNG sequence byte-identical to the serial
+        per-timestep reference, and a stats-compatible metrics snapshot."""
+        out_dir = tmp_path / "frames"
+        metrics = tmp_path / "metrics.json"
+        rc = main(["render", "--movie", "--dataset", "beating_heart",
+                   "--scale", "0.5", "--frames", "3", "--timesteps", "2",
+                   "--procs", "1", "--backend", "thread",
+                   "--profile-period", "0",
+                   "--movie-out", str(out_dir),
+                   "--metrics-out", str(metrics)])
+        assert rc == 0
+        assert "stage overlap" in capsys.readouterr().out
+
+        from repro.movie import beating_heart_renderer, encode_png, to_gray8
+        from repro.render.fast import render_fast
+
+        r = beating_heart_renderer(0.5, timesteps=2)
+        for i in range(3):
+            view = r.view_from_angles(20.0, 30.0 + i * 3.0, 0.0)
+            ref = render_fast(r, view, timestep=i % 2)
+            blob = (out_dir / f"frame_{i:04d}.png").read_bytes()
+            assert blob == encode_png(to_gray8(np.asarray(ref.final.color)))
+
+        assert main(["stats", str(metrics)]) == 0
+        assert "movie/frames_encoded=3" in capsys.readouterr().out
+
     def test_speedup_tiny(self, capsys):
         rc = main(["speedup", "--dataset", "mri128", "--machine", "challenge",
                    "--scale", "0.12", "--procs", "1,2"])

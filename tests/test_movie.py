@@ -1,0 +1,348 @@
+"""Tests for ``repro.movie`` — time-varying volumes and the movie pipeline.
+
+The hard contract under test: every movie frame is bit-identical to the
+per-timestep serial render, on every backend (mp, thread, shard fleet),
+at every shard count, including across a mid-movie worker kill.  Around
+it: the beating_heart phantom's shape/motion properties, the slice-cache
+invalidation rule extended to ``(timestep, axis)`` switches, the
+profile loop's behavior when the wedge moves between frames, and the
+deterministic PNG/NPZ encoders.
+"""
+
+import json
+import zlib
+
+import numpy as np
+import pytest
+
+import repro
+import repro.parallel.mp_backend as mpb
+from repro.datasets import beating_heart
+from repro.movie import (
+    MoviePipeline,
+    TimeVaryingRenderer,
+    TimeVaryingVolume,
+    beating_heart_renderer,
+    encode_png,
+    movie_frame_specs,
+    to_gray8,
+)
+from repro.parallel.backend import FrameSpec
+from repro.render.fast import render_fast
+from repro.volume import mri_transfer_function
+
+SHAPE = (20, 20, 16)
+T = 3
+
+
+@pytest.fixture(scope="module")
+def renderer():
+    return TimeVaryingRenderer(
+        beating_heart(SHAPE, timesteps=T), mri_transfer_function()
+    )
+
+
+def _specs(renderer, n, timesteps=T):
+    return movie_frame_specs(renderer, n, timesteps=timesteps)
+
+
+def _refs(renderer, specs):
+    return [
+        render_fast(renderer, s.view, timestep=s.timestep) for s in specs
+    ]
+
+
+def _assert_bit_identical(results, refs):
+    for res, ref in zip(results, refs):
+        assert np.array_equal(res.final.color, ref.final.color)
+        assert np.array_equal(res.final.alpha, ref.final.alpha)
+
+
+class TestBeatingHeartPhantom:
+    def test_shapes_dtype_and_timestep_count(self):
+        vols = beating_heart(SHAPE, timesteps=T)
+        assert len(vols) == T
+        assert all(v.shape == SHAPE and v.dtype == np.uint8 for v in vols)
+
+    def test_timesteps_differ_but_share_texture(self):
+        vols = beating_heart(SHAPE, timesteps=4)
+        # The wedge moves: consecutive timesteps disagree somewhere.
+        assert any(
+            not np.array_equal(vols[t], vols[t + 1]) for t in range(3)
+        )
+        # Same rng draw everywhere: voxels occupied at both timesteps
+        # keep their texture value (motion moves the wedge, not the noise).
+        a, b = vols[0], vols[2]
+        both = (a > 0) & (b > 0)
+        assert both.any()
+        assert np.array_equal(a[both], b[both])
+
+    def test_wedge_centre_moves_between_timesteps(self):
+        vols = beating_heart(SHAPE, timesteps=4, swing=0.9)
+        centroids = []
+        for v in vols:
+            ys = np.nonzero(v)[1]
+            centroids.append(ys.mean())
+        assert max(centroids) - min(centroids) > 1.0
+
+    def test_rejects_zero_timesteps(self):
+        with pytest.raises(ValueError):
+            beating_heart(SHAPE, timesteps=0)
+
+
+class TestTimeVaryingVolume:
+    def test_precomputes_all_encodings(self):
+        tvv = TimeVaryingVolume(
+            beating_heart(SHAPE, timesteps=T), mri_transfer_function()
+        )
+        assert tvv.n_timesteps == T and tvv.shape == SHAPE
+        assert all(set(enc) == {0, 1, 2} for enc in tvv.encodings)
+
+    def test_rejects_mismatched_shapes_and_empty(self):
+        tf = mri_transfer_function()
+        with pytest.raises(ValueError):
+            TimeVaryingVolume([], tf)
+        with pytest.raises(ValueError):
+            TimeVaryingVolume(
+                [np.zeros(SHAPE, np.uint8), np.zeros((8, 8, 8), np.uint8)], tf
+            )
+
+
+class TestSliceCacheInvalidation:
+    """Timestep switches reuse the axis-switch invalidation rule."""
+
+    def test_timestep_switch_clears_left_behind_cache(self):
+        r = TimeVaryingRenderer(
+            beating_heart(SHAPE, timesteps=T), mri_transfer_function()
+        )
+        view = r.view_from_angles(20, 30, 0)
+        fact = r.factorize_view(view)
+        rle0 = r.rle_for(fact, timestep=0)
+        rle0.decode_slice(0)
+        assert len(rle0.slice_cache) == 1
+        r.rle_for(fact, timestep=1)  # switch: t0 encoding left behind
+        assert len(rle0.slice_cache) == 0
+        assert r.timestep_switches == 1
+
+    def test_no_stale_slice_across_timesteps(self):
+        """A decoded plane never leaks from timestep t to t' — rendering
+        t, then t', then t again gives the same bits as fresh renders."""
+        r = TimeVaryingRenderer(
+            beating_heart(SHAPE, timesteps=T), mri_transfer_function()
+        )
+        view = r.view_from_angles(20, 30, 0)
+        seq = [0, 1, 0, 2, 1]
+        got = [render_fast(r, view, timestep=t) for t in seq]
+        fresh = TimeVaryingRenderer(
+            beating_heart(SHAPE, timesteps=T), mri_transfer_function()
+        )
+        for t, res in zip(seq, got):
+            ref = render_fast(fresh, view, timestep=t)
+            assert np.array_equal(res.final.color, ref.final.color)
+
+    def test_hit_miss_counters_survive_clears(self):
+        """``SliceCache.clear`` keeps stats, so switch-heavy movies
+        still report consistent hit+miss totals (hits+misses only grow)."""
+        r = TimeVaryingRenderer(
+            beating_heart(SHAPE, timesteps=2), mri_transfer_function()
+        )
+        view = r.view_from_angles(20, 30, 0)
+        fact = r.factorize_view(view)
+        caches = [r.rle_for(fact, timestep=t).slice_cache for t in (0, 1)]
+        before = [(c.hits, c.misses) for c in caches]
+        for t in (0, 1, 0, 1):
+            render_fast(r, view, timestep=t)
+        after = [(c.hits, c.misses) for c in caches]
+        for (h0, m0), (h1, m1) in zip(before, after):
+            assert h1 >= h0 and m1 >= m0
+        # Every decode either hit or missed; the clears lost nothing.
+        assert sum(h + m for h, m in after) > sum(h + m for h, m in before)
+
+    def test_none_timestep_is_timestep_zero(self, renderer):
+        view = renderer.view_from_angles(20, 30, 0)
+        a = render_fast(renderer, view, timestep=None)
+        b = render_fast(renderer, view, timestep=0)
+        assert np.array_equal(a.final.color, b.final.color)
+
+    def test_timestep_wraps_modulo(self, renderer):
+        view = renderer.view_from_angles(20, 30, 0)
+        a = render_fast(renderer, view, timestep=1)
+        b = render_fast(renderer, view, timestep=1 + T)
+        assert np.array_equal(a.final.color, b.final.color)
+
+
+class TestMovieBitIdentity:
+    """Frames == per-timestep serial render, on every backend."""
+
+    N_FRAMES = 5
+
+    def _run(self, renderer, **overrides):
+        specs = _specs(renderer, self.N_FRAMES)
+        with repro.open_pool(renderer, **overrides) as pool:
+            results = [pool.result(f) for f in pool.submit_batch(specs)]
+        _assert_bit_identical(results, _refs(renderer, specs))
+
+    def test_thread_backend(self, renderer):
+        self._run(renderer, n_procs=2, backend="thread", profile_period=0)
+
+    def test_mp_backend(self, renderer):
+        self._run(renderer, n_procs=2, profile_period=0)
+
+    def test_mp_backend_profiled(self, renderer):
+        """The moving wedge churns the profile between frames; the
+        re-balanced partitions must not change a single pixel."""
+        self._run(renderer, n_procs=2, profile_period=1)
+
+    def test_shard_fleet(self, renderer):
+        self._run(renderer, n_procs=1, shards=2, profile_period=0)
+
+    def test_mp_backend_survives_mid_movie_kill(self, renderer, monkeypatch):
+        monkeypatch.setattr(mpb, "_TEST_FAULT", (0, 2, "kill", "composite"))
+        specs = _specs(renderer, self.N_FRAMES)
+        with repro.open_pool(renderer, n_procs=2, profile_period=0) as pool:
+            results = [pool.result(f) for f in pool.submit_batch(specs)]
+            counters = pool.fault_counters()
+        assert counters["worker_restarts"] >= 1
+        assert counters["degraded_frames"] == 0
+        _assert_bit_identical(results, _refs(renderer, specs))
+
+
+class TestProfileLoopAcrossTimesteps:
+    """The profile prediction is keyed on (axis, perm) only — a timestep
+    switch keeps the prediction live (that is the workload beating_heart
+    stresses), and the profiled run stays bit-identical regardless of
+    how wrong the moving wedge makes the prediction."""
+
+    def test_profile_survives_timestep_switches(self, renderer):
+        switches_before = renderer.timestep_switches
+        specs = _specs(renderer, 6)
+        with repro.open_pool(
+            renderer, n_procs=2, backend="thread", profile_period=1
+        ) as pool:
+            results = [pool.result(f) for f in pool.submit_batch(specs)]
+        # The timestep moved underneath the profile loop, every frame
+        # still measured a profile, and no pixel changed.
+        assert renderer.timestep_switches > switches_before
+        assert all(r.profiled and r.costs is not None for r in results)
+        _assert_bit_identical(results, _refs(renderer, specs))
+
+    def test_wedge_swing_moves_partition_boundary(self):
+        """A big slow wedge really does shift work between frames: the
+        profile-balanced row partition differs across timesteps."""
+        r = beating_heart_renderer(0.75, timesteps=2)
+        specs = movie_frame_specs(r, 4, timesteps=2)
+        with repro.open_pool(
+            r, n_procs=2, backend="thread", profile_period=1
+        ) as pool:
+            results = [pool.result(f) for f in pool.submit_batch(specs)]
+        bounds = {
+            tuple(res.boundaries)
+            for res in results[1:]
+            if res.boundaries is not None
+        }
+        if len(bounds) < 2:
+            pytest.skip("wedge too small to move the boundary on this host")
+
+
+class TestMoviePipeline:
+    def test_png_sequence_matches_reference_encoder(self, renderer, tmp_path):
+        specs = _specs(renderer, 4)
+        with repro.open_pool(
+            renderer, n_procs=1, backend="thread", profile_period=0
+        ) as pool:
+            pipe = MoviePipeline(pool, str(tmp_path), fmt="png")
+            manifest = pipe.run(specs)
+        refs = _refs(renderer, specs)
+        for i, ref in enumerate(refs):
+            blob = (tmp_path / f"frame_{i:04d}.png").read_bytes()
+            assert blob == encode_png(to_gray8(np.asarray(ref.final.color)))
+        assert manifest["n_frames"] == 4
+        ov = manifest["stage_overlap"]
+        assert ov["wall_s"] > 0 and ov["encode_s"] > 0
+        assert ov["overlapped_encode_s"] <= ov["encode_s"]
+
+    def test_npz_sequence_is_lossless(self, renderer, tmp_path):
+        specs = _specs(renderer, 2)
+        with repro.open_pool(
+            renderer, n_procs=1, backend="thread", profile_period=0
+        ) as pool:
+            MoviePipeline(pool, str(tmp_path), fmt="npz").run(specs)
+        for i, ref in enumerate(_refs(renderer, specs)):
+            with np.load(tmp_path / f"frame_{i:04d}.npz") as z:
+                assert np.array_equal(z["color"], ref.final.color)
+                assert np.array_equal(z["alpha"], ref.final.alpha)
+
+    def test_metrics_snapshot_counts_frames(self, renderer, tmp_path):
+        specs = _specs(renderer, 3)
+        with repro.open_pool(
+            renderer, n_procs=1, backend="thread", profile_period=0
+        ) as pool:
+            pipe = MoviePipeline(pool, str(tmp_path))
+            pipe.run(specs)
+            snap = pipe.metrics_snapshot()
+        assert snap["counters"]["movie/frames_encoded"] == 3
+        assert snap["kind"] == "repro-metrics"
+        json.dumps(snap)  # wire/disk-safe
+
+    def test_encode_spans_land_on_their_own_track(self, renderer, tmp_path):
+        specs = _specs(renderer, 3)
+        with repro.open_pool(
+            renderer, n_procs=2, backend="thread", profile_period=0,
+            trace=True,
+        ) as pool:
+            pipe = MoviePipeline(pool, str(tmp_path), trace=True)
+            pipe.run(specs)
+            trace_path = tmp_path / "movie_trace.json"
+            pipe.export_chrome_trace(str(trace_path))
+        with open(trace_path) as f:
+            trace = json.load(f)
+        encode_tracks = {
+            e["tid"] for e in trace["traceEvents"]
+            if e.get("ph") == "X" and e.get("name") == "encode"
+        }
+        other_tracks = {
+            e["tid"] for e in trace["traceEvents"]
+            if e.get("ph") == "X" and e.get("name") != "encode"
+        }
+        assert len(encode_tracks) == 1
+        assert encode_tracks.isdisjoint(other_tracks)
+
+    def test_rejects_unknown_format(self, renderer, tmp_path):
+        with pytest.raises(ValueError):
+            MoviePipeline(object(), str(tmp_path), fmt="gif")
+
+
+class TestPngEncoder:
+    def test_valid_png_structure(self):
+        gray = np.arange(35, dtype=np.uint8).reshape(5, 7)
+        blob = encode_png(gray)
+        assert blob.startswith(b"\x89PNG\r\n\x1a\n")
+        assert blob.rstrip().endswith(b"IEND\xaeB`\x82")
+        w = int.from_bytes(blob[16:20], "big")
+        h = int.from_bytes(blob[20:24], "big")
+        assert (w, h) == (7, 5)
+
+    def test_idat_roundtrips_pixels(self):
+        gray = (np.arange(24, dtype=np.uint8) * 10).reshape(4, 6)
+        blob = encode_png(gray)
+        start = blob.index(b"IDAT") + 4
+        length = int.from_bytes(blob[start - 8:start - 4], "big")
+        raw = zlib.decompress(blob[start:start + length])
+        rows = [
+            raw[r * 7 + 1:(r + 1) * 7] for r in range(4)  # skip filter byte
+        ]
+        assert np.array_equal(
+            np.frombuffer(b"".join(rows), np.uint8).reshape(4, 6), gray
+        )
+
+    def test_to_gray8_clips_and_scales(self):
+        plane = np.array([[-1.0, 0.0], [0.5, 2.0]], np.float32)
+        assert np.array_equal(
+            to_gray8(plane), np.array([[0, 0], [128, 255]], np.uint8)
+        )
+
+    def test_encoding_is_deterministic(self):
+        gray = np.random.default_rng(3).integers(
+            0, 255, (9, 9), dtype=np.uint8
+        )
+        assert encode_png(gray) == encode_png(gray.copy())
